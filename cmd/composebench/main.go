@@ -1,0 +1,208 @@
+// Command composebench regenerates the paper's evaluation figures
+// (Figures 2–4 of "Supporting Lock-Free Composition of Concurrent Data
+// Objects", Cederman & Tsigas) as tables or CSV.
+//
+// Each figure is one object pairing (Fig 2: queue/stack, Fig 3: two
+// queues, Fig 4: two stacks) with three panels (move-only,
+// insert/remove-only, both), comparing the lock-free composition against
+// the blocking baseline across thread counts, with and without backoff,
+// under the high- and low-contention local-work distributions.
+//
+// Example (full paper configuration — takes a while):
+//
+//	composebench -figure all -threads 1,2,4,8,16 -ops 5000000 -trials 50
+//
+// Quick shape check:
+//
+//	composebench -figure 2 -ops 200000 -trials 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		figures    = flag.String("figure", "all", "figures to run: comma list of 2,3,4 or 'all'")
+		threads    = flag.String("threads", "1,2,4,8,16", "comma list of thread counts")
+		ops        = flag.Int("ops", 1_000_000, "total operations per trial (paper: 5000000)")
+		trials     = flag.Int("trials", 5, "trials per cell (paper: 50)")
+		contention = flag.String("contention", "high", "local-work level: high, low, both, none")
+		backoff    = flag.String("backoff", "off", "backoff: off, on, both (paper reports both)")
+		prefill    = flag.Int("prefill", 512, "elements pre-inserted per object")
+		pin        = flag.Bool("pin", true, "pin workers to OS threads")
+		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
+		mixes      = flag.String("mix", "all", "panels: move, insertremove, mixed, or 'all'")
+	)
+	flag.Parse()
+
+	figs, err := parseFigures(*figures)
+	if err != nil {
+		fatal(err)
+	}
+	ths, err := parseInts(*threads)
+	if err != nil {
+		fatal(fmt.Errorf("bad -threads: %w", err))
+	}
+	conts, err := parseContention(*contention)
+	if err != nil {
+		fatal(err)
+	}
+	backs, err := parseBackoff(*backoff)
+	if err != nil {
+		fatal(err)
+	}
+	mixList, err := parseMixes(*mixes)
+	if err != nil {
+		fatal(err)
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		csv, err = os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer csv.Close()
+		fmt.Fprintln(csv, "figure,pair,mix,contention,backoff,impl,threads,ops,trials,mean_ms,ci95_ms,min_ms,max_ms")
+	}
+
+	for _, fig := range figs {
+		pair := figurePair(fig)
+		fmt.Printf("==== Figure %d: %s evaluation ====\n", fig, pair)
+		for _, mix := range mixList {
+			for _, cont := range conts {
+				for _, bo := range backs {
+					runPanel(csv, fig, pair, mix, cont, bo, ths, *ops, *trials, *prefill, *pin)
+				}
+			}
+		}
+	}
+}
+
+func runPanel(csv *os.File, fig int, pair harness.Pair, mix harness.Mix,
+	cont harness.Contention, backoff bool, ths []int, ops, trials, prefill int, pin bool) {
+
+	bstr := "no backoff"
+	if backoff {
+		bstr = "with backoff"
+	}
+	fmt.Printf("\n-- %s operations, %s contention, %s --\n", mix, cont, bstr)
+	fmt.Printf("%8s  %14s  %14s\n", "threads", "lockfree (ms)", "blocking (ms)")
+	for _, t := range ths {
+		row := make(map[harness.Impl]harness.Result)
+		for _, impl := range []harness.Impl{harness.LockFree, harness.Blocking} {
+			r := harness.Run(harness.Options{
+				Impl: impl, Pair: pair, Mix: mix, Contention: cont,
+				Threads: t, TotalOps: ops, Trials: trials,
+				Backoff: backoff, Prefill: prefill, Pin: pin,
+			})
+			row[impl] = r
+			if csv != nil {
+				fmt.Fprintf(csv, "%d,%s,%s,%s,%v,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+					fig, pair, mix, cont, backoff, impl, t, ops, trials,
+					r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
+					r.Summary.Min/1e6, r.Summary.Max/1e6)
+			}
+		}
+		lf, bl := row[harness.LockFree], row[harness.Blocking]
+		fmt.Printf("%8d  %9.1f ±%4.1f  %9.1f ±%4.1f\n", t,
+			lf.Summary.Mean/1e6, lf.Summary.CI95()/1e6,
+			bl.Summary.Mean/1e6, bl.Summary.CI95()/1e6)
+	}
+}
+
+func figurePair(fig int) harness.Pair {
+	switch fig {
+	case 2:
+		return harness.QueueStack
+	case 3:
+		return harness.QueueQueue
+	default:
+		return harness.StackStack
+	}
+}
+
+func parseFigures(s string) ([]int, error) {
+	if s == "all" {
+		return []int{2, 3, 4}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 || n > 4 {
+			return nil, fmt.Errorf("bad -figure element %q (want 2, 3 or 4)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("%q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseContention(s string) ([]harness.Contention, error) {
+	switch s {
+	case "high":
+		return []harness.Contention{harness.High}, nil
+	case "low":
+		return []harness.Contention{harness.Low}, nil
+	case "both":
+		return []harness.Contention{harness.High, harness.Low}, nil
+	case "none":
+		return []harness.Contention{harness.NoWork}, nil
+	}
+	return nil, fmt.Errorf("bad -contention %q", s)
+}
+
+func parseBackoff(s string) ([]bool, error) {
+	switch s {
+	case "off":
+		return []bool{false}, nil
+	case "on":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	}
+	return nil, fmt.Errorf("bad -backoff %q", s)
+}
+
+func parseMixes(s string) ([]harness.Mix, error) {
+	if s == "all" {
+		return []harness.Mix{harness.MoveOnly, harness.InsertRemoveOnly, harness.Mixed}, nil
+	}
+	var out []harness.Mix
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "move":
+			out = append(out, harness.MoveOnly)
+		case "insertremove":
+			out = append(out, harness.InsertRemoveOnly)
+		case "mixed":
+			out = append(out, harness.Mixed)
+		default:
+			return nil, fmt.Errorf("bad -mix element %q", part)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "composebench:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestParseFigures(t *testing.T) {
+	if got, err := parseFigures("all"); err != nil || len(got) != 3 {
+		t.Fatalf("all: %v %v", got, err)
+	}
+	if got, err := parseFigures("2,4"); err != nil || len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("2,4: %v %v", got, err)
+	}
+	for _, bad := range []string{"1", "5", "x", "2,9"} {
+		if _, err := parseFigures(bad); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,16")
+	if err != nil || len(got) != 3 || got[2] != 16 {
+		t.Fatalf("%v %v", got, err)
+	}
+	for _, bad := range []string{"0", "-1", "a"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+func TestParseContention(t *testing.T) {
+	cases := map[string][]harness.Contention{
+		"high": {harness.High},
+		"low":  {harness.Low},
+		"both": {harness.High, harness.Low},
+		"none": {harness.NoWork},
+	}
+	for in, want := range cases {
+		got, err := parseContention(in)
+		if err != nil || len(got) != len(want) {
+			t.Fatalf("%q: %v %v", in, got, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q[%d]", in, i)
+			}
+		}
+	}
+	if _, err := parseContention("medium"); err == nil {
+		t.Fatal("bad contention accepted")
+	}
+}
+
+func TestParseBackoff(t *testing.T) {
+	if got, _ := parseBackoff("both"); len(got) != 2 || got[0] || !got[1] {
+		t.Fatalf("both: %v", got)
+	}
+	if got, _ := parseBackoff("on"); len(got) != 1 || !got[0] {
+		t.Fatal("on")
+	}
+	if got, _ := parseBackoff("off"); len(got) != 1 || got[0] {
+		t.Fatal("off")
+	}
+	if _, err := parseBackoff("maybe"); err == nil {
+		t.Fatal("bad backoff accepted")
+	}
+}
+
+func TestParseMixes(t *testing.T) {
+	if got, _ := parseMixes("all"); len(got) != 3 {
+		t.Fatal("all")
+	}
+	got, err := parseMixes("move, mixed")
+	if err != nil || len(got) != 2 || got[0] != harness.MoveOnly || got[1] != harness.Mixed {
+		t.Fatalf("%v %v", got, err)
+	}
+	if _, err := parseMixes("woof"); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+}
+
+func TestFigurePair(t *testing.T) {
+	if figurePair(2) != harness.QueueStack ||
+		figurePair(3) != harness.QueueQueue ||
+		figurePair(4) != harness.StackStack {
+		t.Fatal("figure-to-pair mapping broken")
+	}
+}

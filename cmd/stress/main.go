@@ -1,0 +1,175 @@
+// Command stress runs a long-lived conservation workload over a pair of
+// move-ready containers and fails loudly if composition atomicity is
+// ever violated (a token lost or duplicated).
+//
+// Unique tokens circulate between two containers through atomic moves
+// and remove/re-insert cycles. Periodically the workload quiesces, every
+// token is audited, and circulation resumes. Any mismatch aborts with a
+// non-zero exit code.
+//
+//	stress -pair queue/stack -threads 8 -rounds 20 -ops 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		pairName = flag.String("pair", "queue/stack", "queue/queue, stack/stack, queue/stack, map/map, list/queue")
+		threads  = flag.Int("threads", 8, "worker threads")
+		tokens   = flag.Int("tokens", 512, "circulating tokens")
+		rounds   = flag.Int("rounds", 10, "audit rounds")
+		ops      = flag.Int("ops", 100_000, "operations per thread per round")
+		moveBias = flag.Int("movebias", 50, "percent of operations that are moves")
+	)
+	flag.Parse()
+
+	rt := repro.NewRuntime(repro.Config{
+		MaxThreads:    *threads + 1,
+		ArenaCapacity: 1 << 21,
+		DescCapacity:  1 << 18,
+	})
+	setup := rt.RegisterThread()
+	a, b, keyed := buildPair(setup, *pairName)
+	if a == nil {
+		fmt.Fprintf(os.Stderr, "stress: unknown -pair %q\n", *pairName)
+		os.Exit(2)
+	}
+
+	for i := 1; i <= *tokens; i++ {
+		tok := uint64(i)
+		if i%2 == 0 {
+			a.Insert(setup, tok, tok)
+		} else {
+			b.Insert(setup, tok, tok)
+		}
+	}
+
+	workers := make([]*core.Thread, *threads)
+	for i := range workers {
+		workers[i] = rt.RegisterThread()
+	}
+
+	fmt.Printf("stress: pair=%s threads=%d tokens=%d rounds=%d ops/round=%d\n",
+		*pairName, *threads, *tokens, *rounds, *ops)
+
+	for round := 1; round <= *rounds; round++ {
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < *threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := workers[w]
+				rng := uint64(w+1)*0x9e3779b97f4a7c15 + uint64(round)
+				next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+				for i := 0; i < *ops; i++ {
+					tok := next()%uint64(*tokens) + 1
+					doMove := int(next()%100) < *moveBias
+					src, dst := a, b
+					if next()&1 == 0 {
+						src, dst = b, a
+					}
+					if doMove {
+						skey, tkey := tok, tok
+						if !keyed {
+							skey, tkey = 0, 0
+						}
+						repro.Move(th, src, dst, skey, tkey)
+					} else {
+						skey := tok
+						if !keyed {
+							skey = 0
+						}
+						if v, ok := src.Remove(th, skey); ok {
+							// Re-insert; retry into the other container
+							// if the first insert hits a duplicate key.
+							if !src.Insert(th, skey, v) {
+								for !dst.Insert(th, skey, v) {
+								}
+							}
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Audit: drain and count every token, then reinsert.
+		seen := make(map[uint64]int)
+		for _, c := range []repro.MoveReady{a, b} {
+			if keyed {
+				for k := uint64(1); k <= uint64(*tokens); k++ {
+					if v, ok := c.Remove(setup, k); ok {
+						seen[v]++
+					}
+				}
+			} else {
+				for {
+					v, ok := c.Remove(setup, 0)
+					if !ok {
+						break
+					}
+					seen[v]++
+				}
+			}
+		}
+		bad := false
+		if len(seen) != *tokens {
+			bad = true
+		}
+		for tok, n := range seen {
+			if n != 1 || tok == 0 || tok > uint64(*tokens) {
+				bad = true
+			}
+		}
+		if bad {
+			fmt.Fprintf(os.Stderr, "stress: ROUND %d FAILED: %d distinct tokens (want %d)\n",
+				round, len(seen), *tokens)
+			os.Exit(1)
+		}
+		// Reinsert for the next round.
+		i := 0
+		for tok := range seen {
+			tgt := a
+			if i%2 == 0 {
+				tgt = b
+			}
+			tgt.Insert(setup, tok, tok)
+			i++
+		}
+		helps, strays, late := rt.DCASPool().Stats()
+		fmt.Printf("round %2d ok (%6.2fs)  dcas-helps=%d strays=%d late-p2=%d\n",
+			round, time.Since(t0).Seconds(), helps, strays, late)
+	}
+	fmt.Println("stress: all rounds passed — conservation intact")
+}
+
+// buildPair constructs the requested container pair; keyed reports
+// whether tokens are addressed by key.
+func buildPair(t *core.Thread, name string) (a, b repro.MoveReady, keyed bool) {
+	switch name {
+	case "queue/queue":
+		return repro.NewQueue(t), repro.NewQueue(t), false
+	case "stack/stack":
+		return repro.NewStack(t), repro.NewStack(t), false
+	case "queue/stack":
+		return repro.NewQueue(t), repro.NewStack(t), false
+	case "vstack/vstack":
+		return repro.NewVersionedStack(t), repro.NewVersionedStack(t), false
+	case "map/map":
+		return repro.NewHashMap(t, 64), repro.NewHashMap(t, 64), true
+	case "list/list":
+		return repro.NewList(t), repro.NewList(t), true
+	default:
+		return nil, nil, false
+	}
+}

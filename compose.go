@@ -1,0 +1,104 @@
+// Package repro is a Go reproduction of "Supporting Lock-Free
+// Composition of Concurrent Data Objects" (Cederman & Tsigas, PPoPP
+// 2010): a methodology that composes the insert and remove operations of
+// lock-free objects into atomic move operations by unifying their
+// linearization points with a software DCAS.
+//
+// # Quick start
+//
+//	rt := repro.NewRuntime(repro.Config{MaxThreads: 8})
+//	th := rt.RegisterThread()          // one per goroutine
+//	q := repro.NewQueue(th)            // Michael–Scott queue, move-ready
+//	s := repro.NewStack(th)            // Treiber stack, move-ready
+//	q.Enqueue(th, 42)
+//	v, ok := repro.Move(th, q, s, 0, 0) // atomic: in q XOR in s, never neither
+//
+// Containers: NewQueue (Michael–Scott FIFO), NewStack / NewVersionedStack
+// (Treiber LIFO, optionally with the §7 ABA counter), NewList (ordered
+// set), NewHashMap. All of them compose with Move and MoveN; keys select
+// elements in keyed containers and are ignored by queues/stacks.
+//
+// Every goroutine that touches these objects must register once with
+// RegisterThread and pass its *Thread to every call; the Thread carries
+// the hazard-pointer slots, memory caches and the move state the paper
+// keeps in thread-local storage.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/harrislist"
+	"repro/internal/hashmap"
+	"repro/internal/msqueue"
+	"repro/internal/tstack"
+)
+
+// Config sizes a Runtime. See core.Config for the field documentation.
+type Config = core.Config
+
+// Runtime owns the shared substrate (arena, hazard pointers, memory
+// manager, descriptor pools) for one family of composable objects.
+type Runtime = core.Runtime
+
+// Thread is the per-goroutine context; obtain one per goroutine from
+// Runtime.RegisterThread.
+type Thread = core.Thread
+
+// Inserter is the insert half of a move-ready object.
+type Inserter = core.Inserter
+
+// Remover is the remove half of a move-ready object.
+type Remover = core.Remover
+
+// MoveReady is a fully composable object (Inserter + Remover +
+// identity).
+type MoveReady = core.MoveReady
+
+// Queue is the move-ready Michael–Scott lock-free FIFO queue.
+type Queue = msqueue.Queue
+
+// Stack is the move-ready Treiber lock-free LIFO stack.
+type Stack = tstack.Stack
+
+// List is the move-ready lock-free ordered set (Harris list).
+type List = harrislist.List
+
+// HashMap is the move-ready lock-free hash map (array of Harris lists).
+type HashMap = hashmap.Map
+
+// NewRuntime builds a runtime; the zero Config selects usable defaults.
+func NewRuntime(cfg Config) *Runtime { return core.NewRuntime(cfg) }
+
+// NewQueue creates an empty move-ready queue.
+func NewQueue(t *Thread) *Queue { return msqueue.New(t) }
+
+// NewStack creates an empty move-ready stack.
+func NewStack(t *Thread) *Stack { return tstack.New(t) }
+
+// NewVersionedStack creates a stack with the §7 ABA counter on its top
+// pointer, trading a little plain-operation speed for far less false
+// helping in stack-to-stack moves.
+func NewVersionedStack(t *Thread) *Stack { return tstack.NewVersioned(t) }
+
+// NewList creates an empty move-ready ordered set.
+func NewList(t *Thread) *List { return harrislist.New(t) }
+
+// NewHashMap creates a move-ready hash map with the given bucket count
+// (rounded up to a power of two).
+func NewHashMap(t *Thread, buckets int) *HashMap { return hashmap.New(t, buckets) }
+
+// Move atomically moves one element from src to dst: the element is
+// never observable in both objects nor in neither. skey selects the
+// element in keyed sources; tkey is its key in keyed targets; both are
+// ignored by queues and stacks. It returns the moved value and whether
+// the move happened (false: source empty / no such key / target
+// rejected; both objects unchanged).
+func Move(t *Thread, src Remover, dst Inserter, skey, tkey uint64) (uint64, bool) {
+	return t.Move(src, dst, skey, tkey)
+}
+
+// MoveN atomically removes one element from src and inserts it into
+// every dst (the paper's §8 n-object extension). All objects must be
+// pairwise distinct; at most 7 targets.
+func MoveN(t *Thread, src Remover, dsts []Inserter, skey uint64, tkeys []uint64) (uint64, bool) {
+	return t.MoveN(src, dsts, skey, tkeys)
+}

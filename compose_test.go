@@ -1,0 +1,109 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	rt := repro.NewRuntime(repro.Config{MaxThreads: 4})
+	th := rt.RegisterThread()
+
+	q := repro.NewQueue(th)
+	s := repro.NewStack(th)
+	vs := repro.NewVersionedStack(th)
+	l := repro.NewList(th)
+	m := repro.NewHashMap(th, 8)
+
+	q.Enqueue(th, 1)
+	s.Push(th, 2)
+	vs.Push(th, 3)
+	l.Insert(th, 4, 40)
+	m.Insert(th, 5, 50)
+
+	// A chain of moves across all five container types.
+	if v, ok := repro.Move(th, q, s, 0, 0); !ok || v != 1 {
+		t.Fatalf("queue→stack: %d,%v", v, ok)
+	}
+	if v, ok := repro.Move(th, s, vs, 0, 0); !ok || v != 1 {
+		t.Fatalf("stack→vstack: %d,%v", v, ok)
+	}
+	if v, ok := repro.Move(th, vs, l, 0, 9); !ok || v != 1 {
+		t.Fatalf("vstack→list: %d,%v", v, ok)
+	}
+	if v, ok := repro.Move(th, l, m, 9, 99); !ok || v != 1 {
+		t.Fatalf("list→map: %d,%v", v, ok)
+	}
+	if v, ok := repro.Move(th, m, q, 99, 0); !ok || v != 1 {
+		t.Fatalf("map→queue: %d,%v", v, ok)
+	}
+	if v, ok := q.Dequeue(th); !ok || v != 1 {
+		t.Fatalf("element lost in the chain: %d,%v", v, ok)
+	}
+
+	// The other residents were untouched.
+	if v, _ := s.Pop(th); v != 2 {
+		t.Fatal("stack disturbed")
+	}
+	if v, _ := vs.Pop(th); v != 3 {
+		t.Fatal("versioned stack disturbed")
+	}
+	if v, _ := l.Contains(th, 4); v != 40 {
+		t.Fatal("list disturbed")
+	}
+	if v, _ := m.Contains(th, 5); v != 50 {
+		t.Fatal("map disturbed")
+	}
+}
+
+func TestPublicMoveN(t *testing.T) {
+	rt := repro.NewRuntime(repro.Config{MaxThreads: 2})
+	th := rt.RegisterThread()
+	q := repro.NewQueue(th)
+	a := repro.NewStack(th)
+	b := repro.NewHashMap(th, 4)
+	q.Enqueue(th, 7)
+	if v, ok := repro.MoveN(th, q, []repro.Inserter{a, b}, 0, []uint64{0, 70}); !ok || v != 7 {
+		t.Fatalf("MoveN: %d,%v", v, ok)
+	}
+	if v, _ := a.Pop(th); v != 7 {
+		t.Fatal("stack missing fanout copy")
+	}
+	if v, _ := b.Contains(th, 70); v != 7 {
+		t.Fatal("map missing fanout copy")
+	}
+}
+
+func TestPublicConcurrentSmoke(t *testing.T) {
+	const workers = 4
+	rt := repro.NewRuntime(repro.Config{MaxThreads: workers + 1})
+	setup := rt.RegisterThread()
+	q := repro.NewQueue(setup)
+	s := repro.NewStack(setup)
+	for i := uint64(1); i <= 100; i++ {
+		q.Enqueue(setup, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			for i := 0; i < 2000; i++ {
+				if i%2 == w%2 {
+					repro.Move(th, q, s, 0, 0)
+				} else {
+					repro.Move(th, s, q, 0, 0)
+				}
+			}
+			th.FlushMemory()
+		}(w)
+	}
+	wg.Wait()
+	total := q.Len(setup) + s.Len(setup)
+	if total != 100 {
+		t.Fatalf("conservation across public API: %d", total)
+	}
+}

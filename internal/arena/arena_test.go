@@ -1,0 +1,113 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestCarveProducesDistinctDereferenceableNodes(t *testing.T) {
+	a := New(SlabSize * 3)
+	refs := a.Carve(nil, 1000)
+	if len(refs) != 1000 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	seen := make(map[uint64]bool)
+	for _, idx := range refs {
+		if idx < ReservedIndexes {
+			t.Fatalf("carved reserved index %d", idx)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+		n := a.NodeAt(idx)
+		n.Val = idx // touch the memory
+	}
+	for _, idx := range refs {
+		if a.NodeAt(idx).Val != idx {
+			t.Fatal("node memory not stable across growth")
+		}
+	}
+}
+
+func TestCarveAcrossSlabBoundary(t *testing.T) {
+	a := New(SlabSize * 4)
+	var refs []uint64
+	for len(refs) < SlabSize+100 {
+		refs = a.Carve(refs, 777)
+	}
+	last := refs[len(refs)-1]
+	a.NodeAt(last).Key = 42
+	if a.NodeAt(last).Key != 42 {
+		t.Fatal("node across slab boundary not addressable")
+	}
+}
+
+func TestNodeDerefByRefWithTag(t *testing.T) {
+	a := New(0)
+	refs := a.Carve(nil, 1)
+	idx := refs[0]
+	a.NodeAt(idx).Val = 99
+	tagged := word.MakeNode(idx, 12345)
+	if a.Node(tagged).Val != 99 {
+		t.Fatal("deref must ignore version tags")
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	a := New(64) // rounded up internally to ≥64 indexes but limit enforced
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	a.Carve(nil, 1000)
+}
+
+func TestConcurrentCarveYieldsDisjointRanges(t *testing.T) {
+	a := New(SlabSize * 8)
+	const workers = 8
+	const per = 5000
+	out := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var refs []uint64
+			for i := 0; i < per/100; i++ {
+				refs = a.Carve(refs, 100)
+			}
+			out[w] = refs
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, refs := range out {
+		for _, r := range refs {
+			if seen[r] {
+				t.Fatalf("index %d handed to two workers", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("expected %d distinct indexes, got %d", workers*per, len(seen))
+	}
+}
+
+func TestAllocatedAndLimit(t *testing.T) {
+	a := New(SlabSize)
+	if a.Allocated() != ReservedIndexes {
+		t.Fatalf("fresh arena should report the reserved prefix, got %d", a.Allocated())
+	}
+	a.Carve(nil, 10)
+	if a.Allocated() != ReservedIndexes+10 {
+		t.Fatalf("Allocated=%d", a.Allocated())
+	}
+	if a.Limit() != SlabSize {
+		t.Fatalf("Limit=%d", a.Limit())
+	}
+}

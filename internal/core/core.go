@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: the
+// lock-free composition methodology of §3 — the move operation
+// (Algorithm 3) that unifies the linearization points of a remove and an
+// insert via DCAS, and the scas operation that move-ready objects call
+// at their linearization points in place of CAS.
+//
+// A Runtime owns all shared substrate (arena, hazard-pointer domains,
+// memory manager, descriptor pools); each participating goroutine
+// registers once and receives a *Thread carrying the paper's
+// thread-local variables (desc, ltarget, ltkey, insfailed) plus its
+// hazard slots and memory caches.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/dcas"
+	"repro/internal/hazard"
+	"repro/internal/mcas"
+	"repro/internal/mm"
+	"repro/internal/word"
+)
+
+// Node hazard-pointer slot assignments. Requirement 2 of the
+// move-candidate definition demands that insert and remove operations on
+// different instances can succeed simultaneously; as §5.1 prescribes,
+// insert-side and remove-side operations therefore use disjoint slot
+// sets. Slots 6..7 receive the mirrored hazard pointers when helping a
+// DCAS (line D3); slots 8+ are mirrors for the MoveN extension.
+const (
+	SlotIns0   = 0 // insert-side primary (e.g. ltail in enqueue)
+	SlotIns1   = 1 // insert-side secondary (e.g. lnext in enqueue)
+	SlotInsAux = 2 // insert-side traversal (ordered list prev)
+	SlotRem0   = 3 // remove-side primary (e.g. lhead in dequeue)
+	SlotRem1   = 4 // remove-side secondary (e.g. lnext in dequeue)
+	SlotRemAux = 5 // remove-side traversal (ordered list prev)
+
+	slotMirror1 = 6
+	slotMirror2 = 7
+
+	slotMCASMirrorBase = 8
+
+	nodeSlotsPerThread = 8 + 2*mcas.MaxEntries
+)
+
+// Descriptor-domain hazard slots.
+const (
+	slotHPD      = 0 // DCAS hpd (read operation, line D35)
+	slotMCASHPD  = 1 // MCAS descriptor protection
+	slotRDCSSHPD = 2 // RDCSS sub-descriptor protection
+	descSlotsPer = 3
+)
+
+// Config sizes a Runtime. The zero value selects usable defaults.
+type Config struct {
+	// MaxThreads is the number of threads that may register. Default 64;
+	// hard limit word.MaxThreads.
+	MaxThreads int
+	// ArenaCapacity is the maximum number of container nodes. Default
+	// 1<<22.
+	ArenaCapacity int
+	// DescCapacity is the maximum number of DCAS descriptors. Default
+	// 1<<18.
+	DescCapacity int
+	// RetireThreshold triggers hazard scans of retired nodes. Default
+	// mm.DefaultRetireThreshold.
+	RetireThreshold int
+}
+
+// Runtime owns the shared substrate for one family of concurrent
+// objects. Objects from different runtimes must not be composed: their
+// words dereference different arenas.
+type Runtime struct {
+	cfg Config
+
+	arena   *arena.Arena
+	nodeDom *hazard.Domain
+	descDom *hazard.Domain
+	mm      *mm.Manager
+	dpool   *dcas.Pool
+	mpool   *mcas.Pool
+
+	nextTID atomic.Int32
+	objIDs  atomic.Uint64
+}
+
+// NewRuntime builds a Runtime from cfg.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = 64
+	}
+	if cfg.MaxThreads > word.MaxThreads {
+		panic(fmt.Sprintf("core: MaxThreads %d exceeds encodable limit %d", cfg.MaxThreads, word.MaxThreads))
+	}
+	rt := &Runtime{cfg: cfg}
+	rt.arena = arena.New(cfg.ArenaCapacity)
+	rt.nodeDom = hazard.New(cfg.MaxThreads, nodeSlotsPerThread)
+	rt.descDom = hazard.New(cfg.MaxThreads, descSlotsPer)
+	rt.mm = mm.New(rt.arena, rt.nodeDom, mm.Config{RetireThreshold: cfg.RetireThreshold})
+	rt.dpool = dcas.NewPool(cfg.DescCapacity, rt.descDom)
+	rt.mpool = mcas.NewPool(cfg.DescCapacity, rt.descDom)
+	return rt
+}
+
+// Arena exposes the node arena (containers dereference through Thread,
+// tests through this).
+func (rt *Runtime) Arena() *arena.Arena { return rt.arena }
+
+// Manager exposes the memory manager for tests and diagnostics.
+func (rt *Runtime) Manager() *mm.Manager { return rt.mm }
+
+// DCASPool exposes the descriptor pool's counters for tests and the §7
+// false-helping measurements.
+func (rt *Runtime) DCASPool() *dcas.Pool { return rt.dpool }
+
+// MCASPool exposes the MoveN descriptor pool.
+func (rt *Runtime) MCASPool() *mcas.Pool { return rt.mpool }
+
+// MaxThreads reports the configured registration limit.
+func (rt *Runtime) MaxThreads() int { return rt.cfg.MaxThreads }
+
+// NextObjectID hands out stable object identities; the blocking baseline
+// uses them for lock ordering and Move uses them to reject same-object
+// composition early.
+func (rt *Runtime) NextObjectID() uint64 { return rt.objIDs.Add(1) }
+
+// RegisterThread allocates the next thread slot. Each goroutine that
+// touches the runtime's objects must own exactly one Thread and must not
+// share it. It panics when MaxThreads is exceeded.
+func (rt *Runtime) RegisterThread() *Thread {
+	id := int(rt.nextTID.Add(1)) - 1
+	if id >= rt.cfg.MaxThreads {
+		panic(fmt.Sprintf("core: more than MaxThreads=%d threads registered", rt.cfg.MaxThreads))
+	}
+	t := &Thread{
+		id:    id,
+		rt:    rt,
+		cache: rt.mm.NewCache(id),
+		dctx:  dcas.NewCtx(rt.dpool, rt.nodeDom, id, slotHPD, slotMirror1, slotMirror2),
+	}
+	t.mctx = mcas.NewCtx(rt.mpool, rt.nodeDom, id, slotMCASHPD, slotRDCSSHPD, slotMCASMirrorBase)
+	return t
+}
+
+// RegisteredThreads reports how many threads have registered.
+func (rt *Runtime) RegisteredThreads() int { return int(rt.nextTID.Load()) }

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"repro/internal/mcas"
+	"repro/internal/word"
+)
+
+// MoveN atomically removes one element from src and inserts it into
+// every target: the paper's §8 extension ("remove an item from one
+// object and insert it into n others atomically"). All n+1 linearization
+// CASes are unified by one N-word CAS.
+//
+// Failure handling generalizes the DCAS retry rules: when the N-word CAS
+// reports a conflict at operation slot i, operations 0..i-1 keep their
+// captured CAS arguments and only operations i..n re-run their
+// init-phases (slot 0 being the remove, which restarts everything, like
+// FIRSTFAILED).
+//
+// Targets must be pairwise distinct objects and distinct from the
+// source. It returns the moved value and whether the move happened; on
+// failure no object is changed.
+func (t *Thread) MoveN(src Remover, dsts []Inserter, skey uint64, tkeys []uint64) (uint64, bool) {
+	if t.desc != nil || t.mdesc != nil {
+		panic("core: nested Move on one thread")
+	}
+	n := len(dsts)
+	if n == 0 {
+		panic("core: MoveN needs at least one target")
+	}
+	if n+1 > mcas.MaxEntries {
+		panic("core: MoveN supports at most mcas.MaxEntries-1 targets")
+	}
+	if len(tkeys) != n {
+		panic("core: MoveN needs one target key per target")
+	}
+	for i, d := range dsts {
+		if sameObject(src, d) {
+			panic("core: MoveN requires targets distinct from the source")
+		}
+		for j := 0; j < i; j++ {
+			if sameObject(asRemover(dsts[j]), d) {
+				panic("core: MoveN requires pairwise distinct targets")
+			}
+		}
+	}
+
+	d, ref := t.mctx.Alloc()
+	t.mdesc, t.mref = d, ref
+	t.mN = n
+	t.mtargets = dsts
+	t.mtkeys = tkeys
+	t.mFailed = -1
+	t.mAbort = false
+
+	val, ok := src.Remove(t, skey)
+
+	cur, curRef := t.mdesc, t.mref
+	t.mdesc = nil
+	t.mtargets = nil
+	t.mtkeys = nil
+	t.recycleMDesc(cur, curRef)
+	return val, ok
+}
+
+func asRemover(i Inserter) Remover {
+	if r, ok := i.(Remover); ok {
+		return r
+	}
+	return nil
+}
+
+func (t *Thread) recycleMDesc(d *mcas.Desc, ref uint64) {
+	if d.Status() != 0 { // decided → was announced
+		t.mctx.Retire(d, ref)
+	} else {
+		t.mctx.FreeDirect(d, ref)
+	}
+}
+
+// moveNRemoveSCAS captures the remove's linearization CAS as entry 0 and
+// starts the insert chain.
+func (t *Thread) moveNRemoveSCAS(w *word.Word, old, new, element, hp uint64) FResult {
+	if t.mAbort {
+		return FAbort
+	}
+	e := &t.mdesc.Entries[0]
+	e.Ptr, e.Old, e.New = w, old, new
+	e.HP = word.NodeIndex(hp)
+	return t.moveNChain(0, element)
+}
+
+// moveNInsertSCAS captures insert j's linearization CAS as entry j+1
+// (the thread tracks which slot is being filled through the recursion
+// depth implied by mReached).
+func (t *Thread) moveNInsertSCAS(w *word.Word, old, new, hp uint64) FResult {
+	if t.mAbort {
+		return FAbort
+	}
+	j := t.mDepth // entry index this insert fills
+	t.mReached[j] = true
+	e := &t.mdesc.Entries[j]
+	e.Ptr, e.Old, e.New = w, old, new
+	e.HP = word.NodeIndex(hp)
+	for k := 0; k < j; k++ {
+		if t.mdesc.Entries[k].Ptr == w {
+			panic("core: MoveN operations share a word; objects must be distinct")
+		}
+	}
+	return t.moveNChain(j, t.mElement)
+}
+
+// moveNChain runs after entry j has been captured: if entries remain it
+// invokes the next target's insert (whose scas will call back at depth
+// j+1); once all entries are captured it executes the N-word CAS and
+// translates the failure slot into the retry protocol.
+func (t *Thread) moveNChain(j int, element uint64) FResult {
+	if j == t.mN { // all n+1 entries captured: decide
+		t.mdesc.N = t.mN + 1
+		ok, failed := t.mctx.Execute(t.mdesc, t.mref)
+		if ok {
+			t.mFailed = -1
+			return FTrue
+		}
+		// Conflict at entry `failed`: take a fresh descriptor carrying
+		// the entries that stay valid (all slots < failed).
+		nd, nref := t.mctx.Alloc()
+		nd.N = 0
+		for k := 0; k < failed; k++ {
+			nd.Entries[k] = t.mdesc.Entries[k]
+		}
+		t.recycleMDesc(t.mdesc, t.mref)
+		t.mdesc, t.mref = nd, nref
+		t.mFailed = failed
+		if failed == j {
+			return FFalse // this operation's word conflicted: retry it
+		}
+		return FAbort // an earlier operation conflicted: unwind to it
+	}
+
+	// Invoke the next insert (entry j+1, target j).
+	t.mDepth = j + 1
+	t.mReached[j+1] = false
+	t.mElement = element
+	insOK := t.mtargets[j].Insert(t, t.mtkeys[j], element)
+	t.mDepth = j
+
+	if insOK {
+		return FTrue
+	}
+	if t.mAbort {
+		return FAbort
+	}
+	if !t.mReached[j+1] {
+		// The deeper insert's init-phase failed outright (full,
+		// duplicate key): the whole MoveN must abort.
+		t.mAbort = true
+		return FAbort
+	}
+	// The deeper insert aborted because of an MCAS conflict.
+	switch {
+	case t.mFailed == j:
+		return FFalse // our word conflicted: retry this operation
+	case t.mFailed > j:
+		// The deeper operation retried after its conflict and then hit
+		// an init-phase failure without reaching scas again (its
+		// mReached flag is stale-true, like insfailed after M32).
+		// Retrying this level re-enters the chain with fresh flags; a
+		// persistent init failure then aborts cleanly.
+		return FFalse
+	default:
+		return FAbort // an earlier operation conflicted: unwind further
+	}
+}

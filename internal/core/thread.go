@@ -1,0 +1,185 @@
+package core
+
+import (
+	"repro/internal/arena"
+	"repro/internal/backoff"
+	"repro/internal/dcas"
+	"repro/internal/mcas"
+	"repro/internal/mm"
+	"repro/internal/word"
+	"repro/internal/xrand"
+)
+
+// Thread is the per-goroutine execution context. It carries the paper's
+// thread-local variables from Algorithm 3 (desc, ltarget, ltkey,
+// insfailed), the thread's hazard-pointer slots, its memory-manager
+// cache and its descriptor contexts.
+//
+// A Thread must be used by exactly one goroutine at a time.
+type Thread struct {
+	id    int
+	rt    *Runtime
+	cache *mm.Cache
+	dctx  *dcas.Ctx
+	mctx  *mcas.Ctx
+
+	// Algorithm 3 thread-local variables for the two-object move.
+	desc      *dcas.Desc
+	descRef   uint64
+	ltarget   Inserter
+	ltkey     uint64
+	insfailed bool
+
+	// MoveN state (§8 extension).
+	mdesc    *mcas.Desc
+	mref     uint64
+	mN       int // number of entries = targets + 1
+	mtargets []Inserter
+	mtkeys   []uint64
+	mReached [mcas.MaxEntries]bool
+	mFailed  int
+	mAbort   bool
+	mDepth   int    // entry index the active insert fills
+	mElement uint64 // element threaded through the insert chain
+
+	// Optional per-thread state used by workloads.
+	Rng *xrand.State
+
+	// seq is a private per-thread counter (see Seq).
+	seq uint64
+
+	bo        *backoff.Exp
+	boEnabled bool
+}
+
+func init() {
+	// The MoveN scas chain stores which entry reached its linearization
+	// attempt in a fixed array; keep the bound in sync with mcas.
+	_ = [mcas.MaxEntries]bool{}
+}
+
+// ID returns the registered thread id (0-based).
+func (t *Thread) ID() int { return t.id }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// --- memory management ---------------------------------------------------
+
+// AllocNode returns a fresh node reference with zeroed fields.
+func (t *Thread) AllocNode() uint64 { return t.cache.Alloc() }
+
+// Node dereferences a node reference.
+func (t *Thread) Node(ref uint64) *arena.Node { return t.rt.arena.Node(ref) }
+
+// RetireNode hands back a node that was unlinked from a shared
+// structure; it is recycled once no hazard pointer covers it.
+func (t *Thread) RetireNode(ref uint64) { t.cache.Retire(ref) }
+
+// FreeNodeDirect recycles a node that was never published (aborted
+// inserts: lines Q15–Q17, S8–S10).
+func (t *Thread) FreeNodeDirect(ref uint64) { t.cache.FreeDirect(ref) }
+
+// FlushMemory drains this thread's retire lists (thread shutdown).
+func (t *Thread) FlushMemory() {
+	t.cache.Flush()
+	t.dctx.Flush()
+	t.mctx.Flush()
+}
+
+// --- hazard pointers -------------------------------------------------------
+
+// ProtectNode publishes the node referenced by ref in the given slot
+// (SlotIns0..SlotRemAux). Passing ref 0 clears the slot.
+func (t *Thread) ProtectNode(slot int, ref uint64) {
+	t.rt.nodeDom.Protect(t.id, slot, word.NodeIndex(ref))
+}
+
+// ClearNode clears a hazard slot.
+func (t *Thread) ClearNode(slot int) { t.rt.nodeDom.Clear(t.id, slot) }
+
+// ClearHazards clears every node hazard slot this thread owns; container
+// operations call it on return so stale protections don't delay reuse.
+func (t *Thread) ClearHazards() { t.rt.nodeDom.ClearAll(t.id) }
+
+// --- shared-word access ----------------------------------------------------
+
+// Read is the read operation of Algorithm 4 (lines D32–D39) extended to
+// dispatch on descriptor kind: it helps any DCAS, MCAS or RDCSS
+// announced in w and returns a plain value. The common no-descriptor
+// case stays small enough for the inliner; helping is the slow path.
+func (t *Thread) Read(w *word.Word) uint64 {
+	v := w.Load()
+	if v&1 == 0 { // word.IsDesc spelled out to stay under the inline budget
+		return v
+	}
+	return t.readSlow(w, v)
+}
+
+func (t *Thread) readSlow(w *word.Word, v uint64) uint64 {
+	for word.IsDesc(v) {
+		switch word.DescKind(v) {
+		case word.KindDCAS:
+			t.dctx.HelpRef(w, v)
+		case word.KindMCAS:
+			t.mctx.HelpRef(w, v)
+		case word.KindRDCSS:
+			t.mctx.CompleteRDCSS(w, v)
+		}
+		v = w.Load()
+	}
+	return v
+}
+
+// CAS performs a plain CAS on a shared word (used for non-linearization
+// CASes such as the queue's tail swing, lines Q12/Q19/Q31).
+func (t *Thread) CAS(w *word.Word, old, new uint64) bool { return w.CAS(old, new) }
+
+// --- backoff ----------------------------------------------------------------
+
+// EnableBackoff turns on the §6 exponential backoff for this thread's
+// operations; containers consult it on every failed retry.
+func (t *Thread) EnableBackoff(start, max uint32) {
+	t.bo = backoff.New(start, max)
+	t.boEnabled = true
+}
+
+// DisableBackoff turns backoff off.
+func (t *Thread) DisableBackoff() { t.boEnabled = false }
+
+// BackoffWait waits (and doubles) if backoff is enabled; containers call
+// it after a conflict.
+func (t *Thread) BackoffWait() {
+	if t.boEnabled {
+		t.bo.Wait()
+	}
+}
+
+// BackoffReset resets the wait time after a successful operation.
+func (t *Thread) BackoffReset() {
+	if t.boEnabled {
+		t.bo.Reset()
+	}
+}
+
+// Backoff returns this thread's backoff policy, or nil when disabled.
+// The blocking baseline uses it for lock acquisition (§6).
+func (t *Thread) Backoff() *backoff.Exp {
+	if t.boEnabled {
+		return t.bo
+	}
+	return nil
+}
+
+// MoveInFlight reports whether this thread is currently inside a move
+// (desc ≠ 0 in the paper's terms); containers use it in assertions and
+// tests observe it.
+func (t *Thread) MoveInFlight() bool { return t.desc != nil || t.mdesc != nil }
+
+// Seq returns a thread-local counter that increments on every call;
+// containers use it to build unique sub-keys (e.g. the priority queue's
+// uniquifier).
+func (t *Thread) Seq() uint64 {
+	t.seq++
+	return t.seq
+}

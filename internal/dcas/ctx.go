@@ -1,0 +1,169 @@
+package dcas
+
+import (
+	"repro/internal/hazard"
+	"repro/internal/word"
+)
+
+// retireScanAt is the retired-descriptor count that triggers a scan.
+const retireScanAt = 64
+
+// carveBatch is how many fresh descriptor slots a thread carves at once.
+const carveBatch = 64
+
+// Ctx is the per-thread handle for running and helping DCAS operations.
+// Not safe for concurrent use: one per registered thread.
+type Ctx struct {
+	tid     int
+	pool    *Pool
+	nodeDom *hazard.Domain
+
+	// Slot assignments. hpdSlot lives in the descriptor domain; the
+	// mirror slots live in the node domain and receive the initiator's
+	// hazard pointers when helping (line D3).
+	hpdSlot int
+	mirror1 int
+	mirror2 int
+
+	free    []uint64 // FIFO of recyclable slot indexes (owned by this thread)
+	retired []retiredDesc
+	snap    []uint64
+
+	stuck stuckState // diagnostic state for stale-reference detection
+}
+
+type retiredDesc struct {
+	d   *Desc
+	ref uint64
+}
+
+// NewCtx creates the per-thread DCAS context. hpdSlot indexes into the
+// pool's descriptor hazard domain; mirror1/mirror2 index into nodeDom.
+func NewCtx(pool *Pool, nodeDom *hazard.Domain, tid, hpdSlot, mirror1, mirror2 int) *Ctx {
+	return &Ctx{
+		tid:     tid,
+		pool:    pool,
+		nodeDom: nodeDom,
+		hpdSlot: hpdSlot,
+		mirror1: mirror1,
+		mirror2: mirror2,
+	}
+}
+
+// TID returns the thread id this context was created for.
+func (c *Ctx) TID() int { return c.tid }
+
+// Alloc returns a fresh, UNDECIDED descriptor and its unmarked reference
+// (lines M2–M3 of Algorithm 3). Recycled slots come from this thread's
+// own FIFO, maximizing reuse distance.
+func (c *Ctx) Alloc() (*Desc, uint64) {
+	var idx uint64
+	if len(c.free) > 0 {
+		idx = c.free[0]
+		c.free = c.free[1:]
+	} else {
+		if len(c.retired) > 0 {
+			c.scan()
+		}
+		if len(c.free) > 0 {
+			idx = c.free[0]
+			c.free = c.free[1:]
+		} else {
+			c.free = c.pool.carve(c.free, carveBatch)
+			idx = c.free[0]
+			c.free = c.free[1:]
+		}
+	}
+	d := c.pool.At(idx)
+	d.seq++
+	ref := word.MakeDesc(word.KindDCAS, idx, d.seq)
+	d.Ptr1, d.Ptr2 = nil, nil
+	d.Old1, d.New1, d.Old2, d.New2 = 0, 0, 0, 0
+	d.HP1, d.HP2 = 0, 0
+	d.res.Store(resUndecided)
+	d.self.Store(ref)
+	return d, ref
+}
+
+// FreeDirect recycles a descriptor that was never announced (the DCAS
+// returned FIRSTFAILED before publishing, or the move never reached its
+// DCAS). No helper can hold a reference, so it skips the hazard scan.
+func (c *Ctx) FreeDirect(d *Desc, ref uint64) {
+	d.self.Store(0)
+	c.free = append(c.free, word.DescIndex(ref))
+}
+
+// Retire recycles a descriptor that was announced: helpers may still
+// reference it through hpd slots or through stray word contents, so it
+// is first scrubbed from its target words, then parked until a scan
+// proves it unreachable.
+func (c *Ctx) Retire(d *Desc, ref uint64) {
+	c.scrub(d, ref)
+	c.retired = append(c.retired, retiredDesc{d: d, ref: ref})
+	if len(c.retired) >= retireScanAt {
+		c.scan()
+	}
+}
+
+// scrub removes residual references to d from its two target words. The
+// operation has completed, so the reverts below are exactly the lazy
+// cleanup of lines D5–D8: an unmarked residue in ptr1 means the DCAS
+// failed after announcing (revert to old1); a marked residue in ptr2 is
+// a stray from a late ABA install (revert to old2; the real decision
+// already took effect). Bounded: new strays can only come from helpers
+// still in flight, which the scan's hpd check catches.
+func (c *Ctx) scrub(d *Desc, ref uint64) {
+	for i := 0; i < 16; i++ {
+		v := d.Ptr1.Load()
+		if !word.SameDesc(v, ref) {
+			break
+		}
+		if d.Ptr1.CAS(v, d.Old1) {
+			c.pool.strayCleanups.Add(1)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		v := d.Ptr2.Load()
+		if !word.SameDesc(v, ref) {
+			break
+		}
+		if d.Ptr2.CAS(v, d.Old2) {
+			c.pool.strayCleanups.Add(1)
+		}
+	}
+}
+
+// scan frees every retired descriptor that is (a) not protected by any
+// hpd slot and (b) absent from both of its target words. The hpd
+// snapshot is taken first: any helper that could still install a stray
+// was in flight — and therefore visible — at snapshot time.
+func (c *Ctx) scan() {
+	c.snap = c.pool.dom.Snapshot(c.snap)
+	kept := c.retired[:0]
+	for _, rd := range c.retired {
+		idx := word.DescIndex(rd.ref)
+		if hazard.Protected(c.snap, idx+1) {
+			kept = append(kept, rd)
+			continue
+		}
+		if word.SameDesc(rd.d.Ptr1.Load(), rd.ref) || word.SameDesc(rd.d.Ptr2.Load(), rd.ref) {
+			c.scrub(rd.d, rd.ref)
+			kept = append(kept, rd)
+			continue
+		}
+		rd.d.self.Store(0)
+		c.free = append(c.free, idx)
+	}
+	c.retired = kept
+}
+
+// Flush retires everything it can; used at thread shutdown and by tests.
+func (c *Ctx) Flush() {
+	for prev := -1; len(c.retired) > 0 && len(c.retired) != prev; {
+		prev = len(c.retired)
+		c.scan()
+	}
+}
+
+// Retired reports the retired-list length (tests).
+func (c *Ctx) Retired() int { return len(c.retired) }

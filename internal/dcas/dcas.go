@@ -1,0 +1,178 @@
+package dcas
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Execute runs the DCAS described by d as the initiating process (line
+// D1 with initiator = true). d must have been obtained from Alloc on
+// this context and fully populated (Ptr1..New2, optionally HP1/HP2).
+//
+// The caller remains responsible for recycling d afterwards: FreeDirect
+// when the result is FirstFailed (the descriptor was never announced),
+// Retire otherwise.
+func (c *Ctx) Execute(d *Desc, ref uint64) Result {
+	return c.dcas(d, ref, true)
+}
+
+// dcas is Algorithm 4. The paper writes cas(addr, new, old); every CAS
+// below uses Go order, CAS(addr, old, new). Line numbers D2..D31 refer
+// to the paper's listing.
+func (c *Ctx) dcas(d *Desc, ref uint64, initiator bool) Result {
+	if !initiator { // D2
+		// D3: mirror the initiator's hazard pointers into this thread's
+		// node slots. If res is still undecided below, the initiating
+		// process is still inside its operation and holds its own
+		// protections, so these mirrors become visible to any future
+		// hazard scan before the initiator's slots are cleared (Lemma 6).
+		c.nodeDom.Protect(c.tid, c.mirror1, d.HP1)
+		c.nodeDom.Protect(c.tid, c.mirror2, d.HP2)
+	}
+
+	if r := d.res.Load(); r == resSuccess || r == resSecondFailed { // D4
+		// The operation is decided; only lazy cleanup of a residual
+		// descriptor reference remains. A marked reference was found in
+		// ptr2 (only line D14 installs marked refs), an unmarked one in
+		// ptr1 (only line D10 installs unmarked refs).
+		if word.IsMarkedDesc(ref) { // D5
+			if d.Ptr2.CAS(ref, d.Old2) { // D6
+				c.pool.strayCleanups.Add(1)
+			}
+		} else if !initiator {
+			if d.Ptr1.CAS(ref, d.Old1) { // D8
+				c.pool.strayCleanups.Add(1)
+			}
+		}
+		return resultOf(r) // D9
+	}
+
+	if initiator {
+		if !d.Ptr1.CAS(d.Old1, ref) { // D10: announce
+			return FirstFailed // D11: never announced; nobody will help
+		}
+	}
+
+	mdesc := word.MarkDesc(ref, c.tid) // D13
+	p2set := d.Ptr2.CAS(d.Old2, mdesc) // D14
+	if !p2set {                        // D15
+		cur := d.Ptr2.Load() // D16
+		if !word.SameDesc(cur, ref) {
+			// ptr2 does not hold this descriptor in any form: the CAS
+			// failed because *ptr2 != old2. Try to declare failure.
+			d.res.CAS(resUndecided, resSecondFailed) // D17
+		}
+		switch r := d.res.Load(); r {
+		case resSuccess:
+			return Success // D18–D19
+		case resSecondFailed: // D20
+			// Revert the announcement (ptr1 holds the unmarked ref).
+			d.Ptr1.CAS(word.UnmarkDesc(ref), d.Old1) // D21
+			return SecondFailed                      // D22
+		}
+		// Some process's marked descriptor is (or was) pinned in ptr2.
+		// Promote the *observed* marked descriptor into res — not our
+		// own, which never made it into ptr2; promoting ours would let
+		// line D29 strand ptr2 (see DESIGN.md §3.2). Before the decision
+		// the pinned descriptor is unique, so cur is the right witness.
+		if word.SameDesc(cur, ref) && word.IsMarkedDesc(cur) {
+			d.res.CAS(resUndecided, cur) // D24 (observed form)
+		}
+	} else {
+		// Our marked descriptor reached ptr2; race to make it the
+		// decision witness.
+		d.res.CAS(resUndecided, mdesc) // D24
+	}
+
+	r := d.res.Load()
+	if r == resSecondFailed { // D25
+		if p2set {
+			// We installed our marked descriptor but were not first to
+			// set res: change ptr2 back to its old value (Lemma 3).
+			if d.Ptr2.CAS(mdesc, d.Old2) {
+				c.pool.lateP2.Add(1)
+			}
+		}
+		return SecondFailed // D27
+	}
+	// r is a marked descriptor (the witness) or already SUCCESS.
+	d.Ptr1.CAS(word.UnmarkDesc(ref), d.New1) // D28
+	if word.IsDesc(r) {
+		d.Ptr2.CAS(r, d.New2) // D29: only the witness form can succeed here
+	}
+	d.res.Store(resSuccess) // D30
+	return Success          // D31
+}
+
+func resultOf(res uint64) Result {
+	if res == resSuccess {
+		return Success
+	}
+	return SecondFailed
+}
+
+// Read is the read operation of Algorithm 4 (lines D32–D39): it returns
+// the value of *w, first helping any DCAS whose descriptor is announced
+// there. Values returned never encode a DCAS descriptor (they may encode
+// descriptors of other kinds; callers that can meet those route through
+// a dispatcher, see core.Thread.Read).
+func (c *Ctx) Read(w *word.Word) uint64 {
+	v := w.Load()                                             // D33
+	for word.IsDesc(v) && word.DescKind(v) == word.KindDCAS { // D34
+		c.HelpRef(w, v) // D35–D37
+		v = w.Load()    // D38
+	}
+	return v // D39
+}
+
+// HelpRef performs one protected helping attempt for the descriptor
+// reference v found in word w: protect with hpd (D35), revalidate that w
+// still holds v (D36), validate the descriptor's identity, then help
+// (D37). It returns without action when validation fails; the caller
+// re-reads w.
+func (c *Ctx) HelpRef(w *word.Word, v uint64) {
+	idx := word.DescIndex(v)
+	c.pool.dom.Protect(c.tid, c.hpdSlot, idx+1) // D35: hpd ← result
+	defer c.pool.dom.Clear(c.tid, c.hpdSlot)
+	if w.Load() != v { // D36: if hpd = *ptr
+		return
+	}
+	d := c.pool.At(idx)
+	if d.self.Load() != word.UnmarkDesc(v) {
+		// The slot was recycled between our load and the hpd store; the
+		// reference is stale. The word no longer being protected by the
+		// retire check means this read raced a cleanup — re-read.
+		c.checkStuck(w, v)
+		return
+	}
+	c.pool.helps.Add(1)
+	c.dcas(d, v, false) // D37: help
+	c.nodeDom.Clear(c.tid, c.mirror1)
+	c.nodeDom.Clear(c.tid, c.mirror2)
+}
+
+// stuckSpins bounds how often a stale descriptor reference may be
+// re-observed in the same word before we declare a reclamation invariant
+// violation. A stale reference can legitimately be observed while its
+// cleanup CAS is in flight, but it cannot persist: the retire path
+// scrubs both target words before a descriptor is freed.
+const stuckSpins = 1 << 22
+
+// stuckState is per-context diagnostic state for checkStuck.
+type stuckState struct {
+	w     *word.Word
+	v     uint64
+	count int
+}
+
+func (c *Ctx) checkStuck(w *word.Word, v uint64) {
+	if c.stuck.w == w && c.stuck.v == v {
+		c.stuck.count++
+		if c.stuck.count > stuckSpins {
+			panic(fmt.Sprintf("dcas: stale descriptor reference %#x pinned in word; reclamation invariant violated", v))
+		}
+		return
+	}
+	c.stuck = stuckState{w: w, v: v, count: 1}
+}

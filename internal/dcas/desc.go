@@ -1,0 +1,180 @@
+// Package dcas implements the paper's double-word compare-and-swap
+// (§3.2.2, Algorithm 4): a software DCAS with helping that
+//
+//   - reports which of the two words failed (FIRSTFAILED / SECONDFAILED),
+//   - supports hazard pointers carried in the descriptor,
+//   - needs no extra RDCSS descriptor (unlike Harris et al. [9]), and
+//   - costs two fewer CASs than [9] in the uncontended case.
+//
+// Shared words that may participate in a DCAS must be accessed through
+// the read operation (lines D32–D39), exposed here as Ctx.Read; read
+// helps any announced DCAS to completion before returning a plain value.
+package dcas
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hazard"
+	"repro/internal/word"
+)
+
+// Result is the outcome of a DCAS, as defined by the semantics in
+// Algorithm 1 of the paper.
+type Result uint8
+
+const (
+	// Success: both words matched their old values and were atomically
+	// replaced by their new values.
+	Success Result = iota
+	// FirstFailed: *ptr1 did not match old1; nothing was changed.
+	FirstFailed
+	// SecondFailed: *ptr2 did not match old2; nothing was changed.
+	SecondFailed
+)
+
+func (r Result) String() string {
+	switch r {
+	case Success:
+		return "SUCCESS"
+	case FirstFailed:
+		return "FIRSTFAILED"
+	case SecondFailed:
+		return "SECONDFAILED"
+	}
+	return "UNKNOWN"
+}
+
+// res-field states. UNDECIDED is the zero value; the other two are small
+// even constants that can never collide with a node or descriptor
+// reference (node indexes below arena.ReservedIndexes are never
+// allocated). The res field may also hold a *marked descriptor
+// reference*, the intermediate state of Lemma 1.
+const (
+	resUndecided    uint64 = 0
+	resSecondFailed uint64 = 2
+	resSuccess      uint64 = 4
+)
+
+// Desc is the DCASDesc structure from Algorithm 1:
+//
+//	struct DCASDesc
+//	    word old1, old2, new1, new2
+//	    word *ptr1, *ptr2
+//	    [word *hp1, *hp2]
+//	    word res
+//
+// Ptr1..New2 are written by the initiating process before the descriptor
+// is announced (the CAS at line D10 publishes them) and are read-only
+// afterwards. HP1/HP2 hold the arena indexes of the nodes containing
+// *ptr1/*ptr2, so helpers can mirror the initiator's hazard pointers
+// (line D3). res is the decision word of Lemma 1.
+type Desc struct {
+	Ptr1, Ptr2             *word.Word
+	Old1, New1, Old2, New2 uint64
+	HP1, HP2               uint64
+
+	res word.Word
+
+	// self holds the descriptor's current unmarked reference while the
+	// descriptor is live and 0 while it is free. Helpers validate it
+	// after the hpd protection (line D36) so a reference to a recycled
+	// slot is never trusted.
+	self atomic.Uint64
+
+	// seq is the allocation sequence for this slot. Slots are owned by
+	// the thread that carved them and never migrate, so seq needs no
+	// atomicity.
+	seq uint64
+}
+
+// ResDecided reports whether the descriptor's operation has completed
+// (for tests).
+func (d *Desc) ResDecided() bool {
+	r := d.res.Load()
+	return r == resSuccess || r == resSecondFailed
+}
+
+const (
+	descSlabShift = 12
+	descSlabSize  = 1 << descSlabShift
+	descSlabMask  = descSlabSize - 1
+)
+
+// Pool is the grow-only slab store for DCAS descriptors, shared by all
+// threads. Slot ownership is per-thread: a slot is carved by one thread
+// and recycled only through that thread's cache, which keeps the seq
+// field single-writer.
+type Pool struct {
+	slabs  atomic.Pointer[[]*[descSlabSize]Desc]
+	growMu sync.Mutex
+	next   atomic.Uint64
+	limit  uint64
+
+	dom *hazard.Domain // descriptor hazard domain (hpd slots)
+
+	// Observability counters (§7 discusses "false helping ... a lot of
+	// extra CASs"; these make that measurable).
+	helps         atomic.Uint64 // helper entries into the DCAS
+	strayCleanups atomic.Uint64 // stray descriptor refs reverted after decision
+	lateP2        atomic.Uint64 // ptr2 installs that lost the res race
+}
+
+// NewPool creates a descriptor pool with capacity maxDescs (<=0 selects
+// 1<<18) and the given descriptor hazard domain.
+func NewPool(maxDescs int, dom *hazard.Domain) *Pool {
+	if maxDescs <= 0 {
+		maxDescs = 1 << 18
+	}
+	if uint64(maxDescs) > word.MaxDescIndex {
+		maxDescs = int(word.MaxDescIndex)
+	}
+	p := &Pool{limit: uint64(maxDescs), dom: dom}
+	empty := make([]*[descSlabSize]Desc, 0)
+	p.slabs.Store(&empty)
+	return p
+}
+
+// At dereferences a descriptor slot index.
+func (p *Pool) At(idx uint64) *Desc {
+	slabs := *p.slabs.Load()
+	return &slabs[idx>>descSlabShift][idx&descSlabMask]
+}
+
+// Stats reports (helper entries, stray cleanups, late ptr2 installs).
+func (p *Pool) Stats() (helps, strays, lateP2 uint64) {
+	return p.helps.Load(), p.strayCleanups.Load(), p.lateP2.Load()
+}
+
+// carve bump-allocates n fresh slot indexes.
+func (p *Pool) carve(dst []uint64, n int) []uint64 {
+	start := p.next.Add(uint64(n)) - uint64(n)
+	end := start + uint64(n)
+	if end > p.limit {
+		panic("dcas: descriptor pool exhausted; configure a larger DescCapacity")
+	}
+	p.ensure(end)
+	for i := start; i < end; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+func (p *Pool) ensure(end uint64) {
+	need := int((end + descSlabMask) >> descSlabShift)
+	if len(*p.slabs.Load()) >= need {
+		return
+	}
+	p.growMu.Lock()
+	defer p.growMu.Unlock()
+	cur := *p.slabs.Load()
+	if len(cur) >= need {
+		return
+	}
+	grown := make([]*[descSlabSize]Desc, need)
+	copy(grown, cur)
+	for i := len(cur); i < need; i++ {
+		grown[i] = new([descSlabSize]Desc)
+	}
+	p.slabs.Store(&grown)
+}

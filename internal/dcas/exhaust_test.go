@@ -1,0 +1,131 @@
+package dcas
+
+import (
+	"testing"
+
+	"repro/internal/hazard"
+	"repro/internal/word"
+)
+
+// TestDescriptorPoolExhaustionPanics: descriptor capacity is a hard
+// resource; running out must fail loudly, not deadlock.
+func TestDescriptorPoolExhaustionPanics(t *testing.T) {
+	descDom := hazard.New(1, 2)
+	nodeDom := hazard.New(1, 8)
+	pool := NewPool(carveBatch*2, descDom) // two carve batches only
+	c := NewCtx(pool, nodeDom, 0, 0, 6, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+	}()
+	for i := 0; ; i++ {
+		d, ref := c.Alloc()
+		_ = d
+		_ = ref // never recycled
+		if i > carveBatch*4 {
+			t.Fatal("pool failed to enforce its limit")
+			return
+		}
+	}
+}
+
+// TestRetiredDescriptorsHeldWhileProtected: a descriptor referenced by
+// another thread's hpd slot must survive scans.
+func TestRetiredDescriptorsHeldWhileProtected(t *testing.T) {
+	descDom := hazard.New(2, 2)
+	nodeDom := hazard.New(2, 8)
+	pool := NewPool(1<<12, descDom)
+	c := NewCtx(pool, nodeDom, 0, 0, 6, 7)
+
+	var w1, w2 word.Word
+	w1.Store(val(1))
+	w2.Store(val(2))
+	d, ref := c.Alloc()
+	d.Ptr1, d.Old1, d.New1 = &w1, val(1), val(3)
+	d.Ptr2, d.Old2, d.New2 = &w2, val(2), val(4)
+	if c.Execute(d, ref) != Success {
+		t.Fatal("setup DCAS failed")
+	}
+	// Thread 1 protects the descriptor slot (as a helper would).
+	descDom.Protect(1, 0, word.DescIndex(ref)+1)
+	c.Retire(d, ref)
+	for i := 0; i < 4; i++ {
+		c.scan()
+	}
+	if d.self.Load() == 0 {
+		t.Fatal("descriptor freed while hpd-protected")
+	}
+	// Release and confirm reclamation.
+	descDom.Clear(1, 0)
+	c.Flush()
+	if d.self.Load() != 0 {
+		t.Fatal("descriptor not freed after protection cleared")
+	}
+}
+
+// TestRetireScrubsStrayReference: a marked descriptor reference left in
+// ptr2 (the §7 late-ABA stray) must be scrubbed by Retire so the word
+// never reaches readers after the descriptor is recycled.
+func TestRetireScrubsStrayReference(t *testing.T) {
+	descDom := hazard.New(1, 2)
+	nodeDom := hazard.New(1, 8)
+	pool := NewPool(1<<12, descDom)
+	c := NewCtx(pool, nodeDom, 0, 0, 6, 7)
+
+	var w1, w2 word.Word
+	w1.Store(val(1))
+	w2.Store(val(2))
+	d, ref := c.Alloc()
+	d.Ptr1, d.Old1, d.New1 = &w1, val(1), val(3)
+	d.Ptr2, d.Old2, d.New2 = &w2, val(2), val(4)
+	if c.Execute(d, ref) != Success {
+		t.Fatal("setup DCAS failed")
+	}
+	// Simulate a late helper's ABA install: ptr2 went back to old2 and a
+	// stalled helper re-installed its marked descriptor.
+	w2.Store(val(2))
+	stray := word.MarkDesc(ref, 0)
+	w2.Store(stray)
+
+	c.Retire(d, ref)
+	if got := w2.Load(); got != val(2) {
+		t.Fatalf("stray not scrubbed: w2=%#x", got)
+	}
+	c.Flush()
+	if d.self.Load() != 0 {
+		t.Fatal("descriptor not reclaimed after scrub")
+	}
+}
+
+// TestReadCleansResidueAfterDecision: a reader encountering a decided
+// descriptor's residue must restore the word and return a plain value.
+func TestReadCleansResidueAfterDecision(t *testing.T) {
+	descDom := hazard.New(1, 2)
+	nodeDom := hazard.New(1, 8)
+	pool := NewPool(1<<12, descDom)
+	c := NewCtx(pool, nodeDom, 0, 0, 6, 7)
+
+	var w1, w2 word.Word
+	w1.Store(val(1))
+	w2.Store(val(2))
+	d, ref := c.Alloc()
+	d.Ptr1, d.Old1, d.New1 = &w1, val(1), val(3)
+	d.Ptr2, d.Old2, d.New2 = &w2, val(2), val(4)
+	if c.Execute(d, ref) != Success {
+		t.Fatal("setup DCAS failed")
+	}
+	// Plant a stray marked ref (live descriptor, decided): the reader
+	// must help through it via lines D4–D6 and end with a plain value.
+	w2.Store(val(2))
+	w2.Store(word.MarkDesc(ref, 0))
+	if got := c.Read(&w2); got != val(2) {
+		t.Fatalf("Read returned %#x, want scrubbed old value", got)
+	}
+	_, strays, _ := pool.Stats()
+	if strays == 0 {
+		t.Fatal("stray cleanup not counted")
+	}
+	c.Retire(d, ref)
+	c.Flush()
+}

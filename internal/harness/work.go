@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The local-work generator busy-waits instead of sleeping: the paper's
+// work times (0.1–0.5µs) are far below scheduler granularity. A
+// calibration pass measures the cost of one spin iteration so SpinFor
+// can convert nanoseconds to iterations.
+
+var (
+	calOnce     sync.Once
+	nsPerIter   float64
+	calibrateIt = 1 << 21
+)
+
+// spinSink defeats dead-code elimination; atomic because every worker
+// thread spins concurrently.
+var spinSink atomic.Uint64
+
+func spinIters(n int) {
+	var acc uint64 = 0x243f6a8885a308d3
+	for i := 0; i < n; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+	}
+	spinSink.Add(acc)
+}
+
+// Calibrate measures the spin-loop speed once per process. It is called
+// automatically by Run; tests may call it directly.
+func Calibrate() {
+	calOnce.Do(func() {
+		// Warm up, then measure.
+		spinIters(calibrateIt / 8)
+		t0 := time.Now()
+		spinIters(calibrateIt)
+		el := time.Since(t0)
+		nsPerIter = float64(el.Nanoseconds()) / float64(calibrateIt)
+		if nsPerIter <= 0 {
+			nsPerIter = 1
+		}
+	})
+}
+
+// NsPerIteration exposes the calibrated cost (tests).
+func NsPerIteration() float64 {
+	Calibrate()
+	return nsPerIter
+}
+
+// SpinFor busy-waits for approximately ns nanoseconds.
+func SpinFor(ns float64) {
+	if ns <= 0 {
+		return
+	}
+	spinIters(int(ns / nsPerIter))
+}

@@ -1,0 +1,86 @@
+// Package hashmap implements a lock-free hash map as an array of
+// move-ready ordered lists, realizing the paper's §1.1 motivating
+// scenario: "one can imagine a scenario where one wants to compose
+// together a hash-map and a linked list to provide a move operation for
+// the user".
+//
+// Because every bucket is a move-ready harrislist and the map routes
+// each operation to exactly one bucket by key, the map as a whole is
+// move-ready: its insert/remove linearization points are the bucket's.
+package hashmap
+
+import (
+	"repro/internal/core"
+	"repro/internal/harrislist"
+)
+
+// Map is a fixed-capacity (bucket-count) lock-free hash map from uint64
+// keys to uint64 values.
+type Map struct {
+	buckets []*harrislist.List
+	mask    uint64
+	id      uint64
+}
+
+var _ core.MoveReady = (*Map)(nil)
+
+// New creates a map with the given number of buckets (rounded up to a
+// power of two, minimum 1).
+func New(t *core.Thread, buckets int) *Map {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	m := &Map{mask: uint64(n - 1), id: t.Runtime().NextObjectID()}
+	m.buckets = make([]*harrislist.List, n)
+	for i := range m.buckets {
+		m.buckets[i] = harrislist.NewWithID(m.id)
+	}
+	return m
+}
+
+// ObjectID implements core.MoveReady.
+func (m *Map) ObjectID() uint64 { return m.id }
+
+// hash is a 64-bit finalizer (splitmix64's mixer); good enough to spread
+// adversarial uint64 keys over buckets.
+func hash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (m *Map) bucket(key uint64) *harrislist.List {
+	return m.buckets[hash(key)&m.mask]
+}
+
+// Insert adds (key, val); false when the key exists or a surrounding
+// move aborts.
+func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
+	return m.bucket(key).Insert(t, key, val)
+}
+
+// Remove deletes key and returns its value.
+func (m *Map) Remove(t *core.Thread, key uint64) (uint64, bool) {
+	return m.bucket(key).Remove(t, key)
+}
+
+// Contains reports presence and value.
+func (m *Map) Contains(t *core.Thread, key uint64) (uint64, bool) {
+	return m.bucket(key).Contains(t, key)
+}
+
+// Len counts entries (quiescent use).
+func (m *Map) Len(t *core.Thread) int {
+	n := 0
+	for _, b := range m.buckets {
+		n += b.Len(t)
+	}
+	return n
+}
+
+// Buckets reports the bucket count (tests).
+func (m *Map) Buckets() int { return len(m.buckets) }

@@ -1,0 +1,155 @@
+package hashmap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/msqueue"
+)
+
+func newRT(threads int) *core.Runtime {
+	return core.NewRuntime(core.Config{MaxThreads: threads, ArenaCapacity: 1 << 18, DescCapacity: 1 << 14})
+}
+
+func TestBasicOps(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	m := New(th, 16)
+	if m.Buckets() != 16 {
+		t.Fatalf("buckets=%d", m.Buckets())
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if !m.Insert(th, k, k*3) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if m.Len(th) != 1000 {
+		t.Fatalf("Len=%d", m.Len(th))
+	}
+	if m.Insert(th, 500, 1) {
+		t.Fatal("duplicate must fail")
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if v, ok := m.Contains(th, k); !ok || v != k*3 {
+			t.Fatalf("Contains(%d)=%d,%v", k, v, ok)
+		}
+	}
+	for k := uint64(0); k < 1000; k += 2 {
+		if v, ok := m.Remove(th, k); !ok || v != k*3 {
+			t.Fatalf("Remove(%d)=%d,%v", k, v, ok)
+		}
+	}
+	if m.Len(th) != 500 {
+		t.Fatalf("Len=%d after removes", m.Len(th))
+	}
+}
+
+func TestBucketRounding(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {16, 16}, {17, 32}} {
+		if got := New(th, tc.in).Buckets(); got != tc.want {
+			t.Fatalf("New(%d).Buckets()=%d want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestMoveHashMapQueue reproduces the paper's §1.1 scenario: a hash map
+// composed with another container through atomic moves.
+func TestMoveHashMapQueue(t *testing.T) {
+	rt := newRT(2)
+	th := rt.RegisterThread()
+	m := New(th, 8)
+	q := msqueue.New(th)
+	m.Insert(th, 77, 770)
+
+	// Move the entry out of the map into the queue.
+	if v, ok := th.Move(m, q, 77, 0); !ok || v != 770 {
+		t.Fatalf("map→queue move: %d,%v", v, ok)
+	}
+	if _, ok := m.Contains(th, 77); ok {
+		t.Fatal("key should have left the map")
+	}
+	// And back under a different key.
+	if v, ok := th.Move(q, m, 0, 99); !ok || v != 770 {
+		t.Fatalf("queue→map move: %d,%v", v, ok)
+	}
+	if v, ok := m.Contains(th, 99); !ok || v != 770 {
+		t.Fatal("moved entry must appear under the target key")
+	}
+	// Moving onto an existing key aborts and leaves both unchanged.
+	q.Enqueue(th, 123)
+	if _, ok := th.Move(q, m, 0, 99); ok {
+		t.Fatal("move onto duplicate key must abort")
+	}
+	if q.Len(th) != 1 {
+		t.Fatal("aborted move changed the queue")
+	}
+	if v, _ := m.Contains(th, 99); v != 770 {
+		t.Fatal("aborted move changed the map")
+	}
+}
+
+// TestConcurrentMapMoves: tokens live in either of two maps (as keys) or
+// a queue; moves shuffle them around; at the end each token exists
+// exactly once.
+func TestConcurrentMapMoves(t *testing.T) {
+	const workers = 8
+	const tokens = 256
+	const opsPer = 2000
+	rt := newRT(workers + 1)
+	setup := rt.RegisterThread()
+	m1 := New(setup, 8)
+	m2 := New(setup, 8)
+	for i := uint64(1); i <= tokens; i++ {
+		if i%2 == 0 {
+			m1.Insert(setup, i, i)
+		} else {
+			m2.Insert(setup, i, i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 3
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			for i := 0; i < opsPer; i++ {
+				key := next()%tokens + 1
+				// Key moves between maps keep key==value so we can audit.
+				if next()&1 == 0 {
+					th.Move(m1, m2, key, key)
+				} else {
+					th.Move(m2, m1, key, key)
+				}
+			}
+			th.FlushMemory()
+		}(w)
+	}
+	wg.Wait()
+	count := 0
+	for i := uint64(1); i <= tokens; i++ {
+		in1, ok1 := m1.Contains(setup, i)
+		in2, ok2 := m2.Contains(setup, i)
+		if ok1 && ok2 {
+			t.Fatalf("token %d present in both maps", i)
+		}
+		if !ok1 && !ok2 {
+			t.Fatalf("token %d lost", i)
+		}
+		v := in1
+		if ok2 {
+			v = in2
+		}
+		if v != i {
+			t.Fatalf("token %d corrupted to %d", i, v)
+		}
+		count++
+	}
+	if count != tokens {
+		t.Fatalf("accounted %d of %d tokens", count, tokens)
+	}
+}

@@ -1,0 +1,126 @@
+// Package linearize implements a Wing & Gong style linearizability
+// checker (with Lowe's memoization) for small concurrent histories, plus
+// sequential models for the container pairs used in this repository.
+//
+// The checker is the strongest validation of the paper's Theorem 2: a
+// recorded history of enqueues, dequeues, pushes, pops and *moves* is
+// checked against a sequential specification in which move is a single
+// atomic step. Histories produced by the DCAS-based move must always be
+// accepted; histories produced by the naive remove-then-insert
+// composition (Figure 1c) are rejected whenever an observer catches the
+// intermediate state.
+package linearize
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MaxOps bounds the history size (operations are indexed by bits of a
+// uint64 mask).
+const MaxOps = 64
+
+// Op is one completed operation of a history.
+type Op struct {
+	Thread int
+	Name   string // model-defined operation name
+	Arg    uint64
+	Ret    uint64
+	RetOK  bool
+	Invoke int64 // strictly increasing logical timestamps
+	Return int64
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("[t%d %s(%d)=(%d,%v) @%d..%d]", o.Thread, o.Name, o.Arg, o.Ret, o.RetOK, o.Invoke, o.Return)
+}
+
+// Model is a sequential specification. Implementations must be
+// deterministic and side-effect free: Apply returns the successor state
+// and whether the operation's recorded outcome is legal from the given
+// state.
+type Model interface {
+	// Init returns the initial state.
+	Init() State
+}
+
+// State is an immutable model state.
+type State interface {
+	// Apply checks op against this state; if legal, it returns the
+	// successor state.
+	Apply(op Op) (State, bool)
+	// Key returns a canonical encoding of the state; memoization uses
+	// it verbatim, so equal states must produce equal keys and distinct
+	// states distinct keys (no hash collisions — the checker is used as
+	// an oracle and must never reject a linearizable history).
+	Key() string
+}
+
+// Check reports whether the history is linearizable with respect to the
+// model. Histories longer than MaxOps panic (split recordings into
+// windows instead). The empty history is linearizable.
+func Check(m Model, hist []Op) bool {
+	n := len(hist)
+	if n == 0 {
+		return true
+	}
+	if n > MaxOps {
+		panic(fmt.Sprintf("linearize: history of %d ops exceeds MaxOps", n))
+	}
+	ops := append([]Op(nil), hist...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	full := uint64(1)<<n - 1
+	if n == MaxOps {
+		full = ^uint64(0)
+	}
+	memo := make(map[memoKey]struct{})
+	return dfs(m.Init(), ops, 0, full, memo)
+}
+
+type memoKey struct {
+	mask uint64
+	key  string
+}
+
+// dfs explores the linearization tree: at each step any operation that
+// is "minimal" (invoked before every unlinearized operation's return)
+// may linearize next if the model accepts its outcome.
+func dfs(state State, ops []Op, mask, full uint64, memo map[memoKey]struct{}) bool {
+	if mask == full {
+		return true
+	}
+	key := memoKey{mask, state.Key()}
+	if _, seen := memo[key]; seen {
+		return false
+	}
+
+	// minRet: the earliest return among unlinearized operations. Any
+	// operation linearizing next must have been invoked before it.
+	minRet := int64(1) << 62
+	for i := 0; i < len(ops); i++ {
+		if mask&(1<<uint(i)) == 0 && ops[i].Return < minRet {
+			minRet = ops[i].Return
+		}
+	}
+	for i := 0; i < len(ops); i++ {
+		bit := uint64(1) << uint(i)
+		if mask&bit != 0 {
+			continue
+		}
+		if ops[i].Invoke > minRet {
+			break // ops are sorted by invocation; none later can qualify
+		}
+		if next, ok := state.Apply(ops[i]); ok {
+			if dfs(next, ops, mask|bit, full, memo) {
+				return true
+			}
+		}
+	}
+	memo[key] = struct{}{}
+	return false
+}
+
+// PopCount is exported for tests sizing their windows.
+func PopCount(mask uint64) int { return bits.OnesCount64(mask) }

@@ -1,0 +1,134 @@
+package linearize
+
+// Sequential models for pairs of containers with an atomic move, the
+// specification the paper's composed move must satisfy (§2,
+// linearizability per Herlihy & Wing [12]).
+//
+// Operation names understood by PairModel states:
+//
+//	insA(v) / insB(v)   — insert; always succeeds (RetOK true)
+//	remA() / remB()     — remove; returns (value, ok)
+//	moveAB() / moveBA() — atomic move; returns (moved value, ok)
+//
+// Container kinds determine insertion/removal order (FIFO queue or LIFO
+// stack).
+
+// Kind selects a container discipline.
+type Kind int
+
+const (
+	// FIFO is a queue.
+	FIFO Kind = iota
+	// LIFO is a stack.
+	LIFO
+)
+
+// PairModel is a model of two containers A and B with atomic moves.
+type PairModel struct {
+	AKind, BKind Kind
+	// InitialA/InitialB seed the containers.
+	InitialA, InitialB []uint64
+}
+
+// Init implements Model.
+func (m PairModel) Init() State {
+	return pairState{
+		aKind: m.AKind, bKind: m.BKind,
+		a: append([]uint64(nil), m.InitialA...),
+		b: append([]uint64(nil), m.InitialB...),
+	}
+}
+
+type pairState struct {
+	aKind, bKind Kind
+	a, b         []uint64
+}
+
+// take removes the next element from a container per its discipline.
+func take(kind Kind, s []uint64) (uint64, []uint64, bool) {
+	if len(s) == 0 {
+		return 0, s, false
+	}
+	if kind == FIFO {
+		return s[0], s[1:], true
+	}
+	return s[len(s)-1], s[:len(s)-1], true
+}
+
+func (st pairState) Apply(op Op) (State, bool) {
+	a := st.a
+	b := st.b
+	switch op.Name {
+	case "insA":
+		if !op.RetOK {
+			return nil, false // plain inserts always succeed here
+		}
+		na := append(append(make([]uint64, 0, len(a)+1), a...), op.Arg)
+		return pairState{st.aKind, st.bKind, na, b}, true
+	case "insB":
+		if !op.RetOK {
+			return nil, false
+		}
+		nb := append(append(make([]uint64, 0, len(b)+1), b...), op.Arg)
+		return pairState{st.aKind, st.bKind, a, nb}, true
+	case "remA":
+		v, na, ok := take(st.aKind, a)
+		if !ok {
+			return st, !op.RetOK // empty: only a failed remove is legal
+		}
+		if !op.RetOK || op.Ret != v {
+			return nil, false
+		}
+		return pairState{st.aKind, st.bKind, na, b}, true
+	case "remB":
+		v, nb, ok := take(st.bKind, b)
+		if !ok {
+			return st, !op.RetOK
+		}
+		if !op.RetOK || op.Ret != v {
+			return nil, false
+		}
+		return pairState{st.aKind, st.bKind, a, nb}, true
+	case "moveAB":
+		v, na, ok := take(st.aKind, a)
+		if !ok {
+			return st, !op.RetOK // move from empty fails, atomically a no-op
+		}
+		if !op.RetOK || op.Ret != v {
+			return nil, false
+		}
+		nb := append(append(make([]uint64, 0, len(b)+1), b...), v)
+		return pairState{st.aKind, st.bKind, na, nb}, true
+	case "moveBA":
+		v, nb, ok := take(st.bKind, b)
+		if !ok {
+			return st, !op.RetOK
+		}
+		if !op.RetOK || op.Ret != v {
+			return nil, false
+		}
+		na := append(append(make([]uint64, 0, len(a)+1), a...), v)
+		return pairState{st.aKind, st.bKind, na, nb}, true
+	}
+	return nil, false
+}
+
+// Key canonically encodes both sequences (little-endian bytes with a
+// separator), so distinct states never collide in the memo table.
+func (st pairState) Key() string {
+	buf := make([]byte, 0, 8*(len(st.a)+len(st.b))+1)
+	enc := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(v))
+			v >>= 8
+		}
+	}
+	for _, v := range st.a {
+		enc(v)
+	}
+	buf = append(buf, 0xfe)
+	for _, v := range st.b {
+		enc(v)
+	}
+	return string(buf)
+}

@@ -1,0 +1,338 @@
+// Package mcas implements an N-word compare-and-swap for the paper's §8
+// extension: "Our methodology can also be easily extended to support n
+// operations on n distinct objects, for example to create functions that
+// remove an item from one object and insert it into n others atomically."
+//
+// The construction follows Harris, Fraser and Pratt's practical CASN
+// [9]: each target word is first acquired with an RDCSS (a restricted
+// double-compare single-swap conditional on the operation still being
+// undecided), then the status word decides the whole operation, then the
+// words are released to their new (success) or old (failure) values.
+// Unlike [9], RDCSS sub-descriptors are not allocated: an RDCSS
+// descriptor for entry i of operation M is fully determined by (M, i),
+// so it is encoded directly in the word reference (kind = RDCSS, entry
+// index in the mark field), which keeps the operation allocation-free
+// beyond its one MCAS descriptor.
+//
+// The status word reports which entry failed, mirroring the DCAS's
+// FIRSTFAILED/SECONDFAILED so core.MoveN can re-run exactly the
+// operations from the failed slot onward.
+package mcas
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hazard"
+	"repro/internal/word"
+)
+
+// MaxEntries bounds the number of words one MCAS may cover; MoveN moves
+// to at most MaxEntries-1 targets.
+const MaxEntries = 8
+
+// Status-word states. statusFailed(i) = statusFailedBase + 8*i. These
+// values live only in the descriptor's status field, never in container
+// words.
+const (
+	statusUndecided  uint64 = 0
+	statusSuccess    uint64 = 4
+	statusFailedBase uint64 = 6
+)
+
+func statusFailed(i int) uint64 { return statusFailedBase + uint64(i)*8 }
+func failedIndex(st uint64) int { return int((st - statusFailedBase) / 8) }
+func isFailed(st uint64) bool   { return st != statusUndecided && st != statusSuccess }
+func decided(st uint64) bool    { return st != statusUndecided }
+
+// Entry is one word of an MCAS: replace Old with New in *Ptr. HP is the
+// arena index of the node containing Ptr (0 for object anchors), used to
+// mirror hazard protection while helping.
+type Entry struct {
+	Ptr      *word.Word
+	Old, New uint64
+	HP       uint64
+}
+
+// Desc is an MCAS descriptor. Entries[0..N) and order are written by the
+// initiator before the descriptor is published and read-only afterwards.
+type Desc struct {
+	N       int
+	Entries [MaxEntries]Entry
+	order   [MaxEntries]int // phase-1 iteration order (ascending address)
+
+	status word.Word
+	self   atomic.Uint64
+	seq    uint64
+}
+
+// Status returns the raw status word (tests).
+func (d *Desc) Status() uint64 { return d.status.Load() }
+
+const (
+	slabShift = 10
+	slabSize  = 1 << slabShift
+	slabMask  = slabSize - 1
+)
+
+// Pool is the grow-only slab store of MCAS descriptors.
+type Pool struct {
+	slabs  atomic.Pointer[[]*[slabSize]Desc]
+	growMu sync.Mutex
+	next   atomic.Uint64
+	limit  uint64
+	dom    *hazard.Domain
+
+	helps atomic.Uint64
+}
+
+// NewPool creates a pool with capacity maxDescs (<=0 selects 1<<16) over
+// the descriptor hazard domain.
+func NewPool(maxDescs int, dom *hazard.Domain) *Pool {
+	if maxDescs <= 0 {
+		maxDescs = 1 << 16
+	}
+	if uint64(maxDescs) > word.MaxDescIndex {
+		maxDescs = int(word.MaxDescIndex)
+	}
+	p := &Pool{limit: uint64(maxDescs), dom: dom}
+	empty := make([]*[slabSize]Desc, 0)
+	p.slabs.Store(&empty)
+	return p
+}
+
+// At dereferences a descriptor slot index.
+func (p *Pool) At(idx uint64) *Desc {
+	slabs := *p.slabs.Load()
+	return &slabs[idx>>slabShift][idx&slabMask]
+}
+
+// Helps reports the number of helper entries (tests, §7-style metrics).
+func (p *Pool) Helps() uint64 { return p.helps.Load() }
+
+func (p *Pool) carve(dst []uint64, n int) []uint64 {
+	start := p.next.Add(uint64(n)) - uint64(n)
+	end := start + uint64(n)
+	if end > p.limit {
+		panic("mcas: descriptor pool exhausted; configure a larger DescCapacity")
+	}
+	p.ensure(end)
+	for i := start; i < end; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+func (p *Pool) ensure(end uint64) {
+	need := int((end + slabMask) >> slabShift)
+	if len(*p.slabs.Load()) >= need {
+		return
+	}
+	p.growMu.Lock()
+	defer p.growMu.Unlock()
+	cur := *p.slabs.Load()
+	if len(cur) >= need {
+		return
+	}
+	grown := make([]*[slabSize]Desc, need)
+	copy(grown, cur)
+	for i := len(cur); i < need; i++ {
+		grown[i] = new([slabSize]Desc)
+	}
+	p.slabs.Store(&grown)
+}
+
+// rdcssRef builds the reference encoding the RDCSS sub-descriptor for
+// entry i of the MCAS referenced by mref.
+func rdcssRef(mref uint64, i int) uint64 {
+	return word.MarkDesc(word.MakeDesc(word.KindRDCSS, word.DescIndex(mref), word.DescSeq(mref)), i)
+}
+
+// mcasRefOf recovers the MCAS reference from one of its RDCSS
+// references.
+func mcasRefOf(rref uint64) uint64 {
+	return word.MakeDesc(word.KindMCAS, word.DescIndex(rref), word.DescSeq(rref))
+}
+
+// entryOf recovers the entry index from an RDCSS reference.
+func entryOf(rref uint64) int { return int(word.DescTID(rref)) - 1 }
+
+// wordAddr gives a total order over words without package unsafe;
+// reflect is only used off the fast path (once per Execute, never while
+// helping).
+func wordAddr(w *word.Word) uintptr { return reflect.ValueOf(w).Pointer() }
+
+// Ctx is the per-thread MCAS context.
+type Ctx struct {
+	tid        int
+	pool       *Pool
+	nodeDom    *hazard.Domain
+	hpdSlot    int // descriptor-domain slot protecting the MCAS desc
+	rdcssSlot  int // descriptor-domain slot used when completing foreign RDCSS
+	mirrorBase int // first node-domain mirror slot (MaxEntries consecutive)
+
+	free    []uint64
+	retired []retiredDesc
+	snap    []uint64
+
+	foreign ForeignHelp
+}
+
+type retiredDesc struct {
+	d   *Desc
+	ref uint64
+}
+
+// NewCtx creates the per-thread context.
+func NewCtx(pool *Pool, nodeDom *hazard.Domain, tid, hpdSlot, rdcssSlot, mirrorBase int) *Ctx {
+	return &Ctx{
+		tid:        tid,
+		pool:       pool,
+		nodeDom:    nodeDom,
+		hpdSlot:    hpdSlot,
+		rdcssSlot:  rdcssSlot,
+		mirrorBase: mirrorBase,
+	}
+}
+
+// Alloc returns a fresh descriptor with status UNDECIDED and its
+// reference.
+func (c *Ctx) Alloc() (*Desc, uint64) {
+	var idx uint64
+	if len(c.free) > 0 {
+		idx = c.free[0]
+		c.free = c.free[1:]
+	} else {
+		if len(c.retired) > 0 {
+			c.scan()
+		}
+		if len(c.free) == 0 {
+			c.free = c.pool.carve(c.free, 16)
+		}
+		idx = c.free[0]
+		c.free = c.free[1:]
+	}
+	d := c.pool.At(idx)
+	d.seq++
+	ref := word.MakeDesc(word.KindMCAS, idx, d.seq)
+	d.N = 0
+	d.status.Store(statusUndecided)
+	d.self.Store(ref)
+	return d, ref
+}
+
+// FreeDirect recycles a descriptor that was never published.
+func (c *Ctx) FreeDirect(d *Desc, ref uint64) {
+	d.self.Store(0)
+	c.free = append(c.free, word.DescIndex(ref))
+}
+
+// Retire recycles a published descriptor through scrub + hazard scan.
+func (c *Ctx) Retire(d *Desc, ref uint64) {
+	c.scrub(d, ref)
+	c.retired = append(c.retired, retiredDesc{d: d, ref: ref})
+	if len(c.retired) >= 64 {
+		c.scan()
+	}
+}
+
+func (c *Ctx) scrub(d *Desc, ref uint64) {
+	st := d.status.Load()
+	for i := 0; i < d.N; i++ {
+		e := &d.Entries[i]
+		for range [8]struct{}{} {
+			v := e.Ptr.Load()
+			switch {
+			case word.SameDesc(v, ref) && word.DescKind(v) == word.KindMCAS:
+				// Residual full descriptor: release per phase 2.
+				if st == statusSuccess {
+					e.Ptr.CAS(v, e.New)
+				} else {
+					e.Ptr.CAS(v, e.Old)
+				}
+			case word.IsDesc(v) && word.DescKind(v) == word.KindRDCSS &&
+				word.DescIndex(v) == word.DescIndex(ref) && word.DescSeq(v) == word.DescSeq(ref):
+				// Residual RDCSS: the operation is decided, so revert.
+				e.Ptr.CAS(v, e.Old)
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+func (c *Ctx) scan() {
+	c.snap = c.pool.dom.Snapshot(c.snap)
+	kept := c.retired[:0]
+	for _, rd := range c.retired {
+		idx := word.DescIndex(rd.ref)
+		if hazard.Protected(c.snap, idx+1) {
+			kept = append(kept, rd)
+			continue
+		}
+		dirty := false
+		for i := 0; i < rd.d.N; i++ {
+			v := rd.d.Entries[i].Ptr.Load()
+			if word.IsDesc(v) && word.DescIndex(v) == idx && word.DescSeq(v) == word.DescSeq(rd.ref) {
+				dirty = true
+				break
+			}
+		}
+		if dirty {
+			c.scrub(rd.d, rd.ref)
+			kept = append(kept, rd)
+			continue
+		}
+		rd.d.self.Store(0)
+		c.free = append(c.free, idx)
+	}
+	c.retired = kept
+}
+
+// Flush drains the retired list as far as possible (shutdown, tests).
+func (c *Ctx) Flush() {
+	for prev := -1; len(c.retired) > 0 && len(c.retired) != prev; {
+		prev = len(c.retired)
+		c.scan()
+	}
+}
+
+// ForeignHelp is installed by core so phase 1 can help a DCAS descriptor
+// found in one of its target words without an import cycle.
+type ForeignHelp func(w *word.Word, ref uint64)
+
+// SetForeignHelper wires the DCAS helper.
+func (c *Ctx) SetForeignHelper(h ForeignHelp) { c.foreign = h }
+
+// Execute runs the MCAS described by d as initiator. Entries[0..N) must
+// be populated and target pairwise distinct words. On failure it reports
+// the index of the entry whose word did not match.
+func (c *Ctx) Execute(d *Desc, ref uint64) (bool, int) {
+	if d.N < 1 || d.N > MaxEntries {
+		panic(fmt.Sprintf("mcas: %d entries out of range", d.N))
+	}
+	for i := 0; i < d.N; i++ {
+		d.order[i] = i
+		for j := 0; j < i; j++ {
+			if d.Entries[i].Ptr == d.Entries[j].Ptr {
+				panic("mcas: duplicate target word; operations must be on distinct objects")
+			}
+		}
+	}
+	// Phase-1 acquisition order: ascending address, so concurrent MCASes
+	// over overlapping word sets cannot chase each other in a cycle.
+	ord := d.order[:d.N]
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && wordAddr(d.Entries[ord[j]].Ptr) < wordAddr(d.Entries[ord[j-1]].Ptr); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	st := c.run(d, ref)
+	if st == statusSuccess {
+		return true, -1
+	}
+	return false, failedIndex(st)
+}

@@ -1,0 +1,270 @@
+package mcas
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hazard"
+	"repro/internal/word"
+)
+
+type env struct {
+	pool    *Pool
+	nodeDom *hazard.Domain
+	ctxs    []*Ctx
+}
+
+func newEnv(threads int) *env {
+	e := &env{nodeDom: hazard.New(threads, 8+MaxEntries)}
+	descDom := hazard.New(threads, 2)
+	e.pool = NewPool(1<<12, descDom)
+	for i := 0; i < threads; i++ {
+		e.ctxs = append(e.ctxs, NewCtx(e.pool, e.nodeDom, i, 0, 1, 8))
+	}
+	return e
+}
+
+func val(i uint64) uint64 { return word.MakeNode(100+i, 0) }
+
+func runMCAS(c *Ctx, words []*word.Word, olds, news []uint64) (bool, int) {
+	d, ref := c.Alloc()
+	d.N = len(words)
+	for i := range words {
+		d.Entries[i] = Entry{Ptr: words[i], Old: olds[i], New: news[i]}
+	}
+	ok, failed := c.Execute(d, ref)
+	c.Retire(d, ref)
+	return ok, failed
+}
+
+func TestMCASSequentialSemantics(t *testing.T) {
+	e := newEnv(1)
+	c := e.ctxs[0]
+	for n := 1; n <= MaxEntries; n++ {
+		words := make([]*word.Word, n)
+		olds := make([]uint64, n)
+		news := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			words[i] = &word.Word{}
+			words[i].Store(val(uint64(i)))
+			olds[i] = val(uint64(i))
+			news[i] = val(uint64(100 + i))
+		}
+		ok, _ := runMCAS(c, words, olds, news)
+		if !ok {
+			t.Fatalf("n=%d: matching MCAS must succeed", n)
+		}
+		for i := 0; i < n; i++ {
+			if words[i].Load() != news[i] {
+				t.Fatalf("n=%d: word %d not updated", n, i)
+			}
+		}
+	}
+}
+
+func TestMCASFailureReportsSlotAndChangesNothing(t *testing.T) {
+	e := newEnv(1)
+	c := e.ctxs[0]
+	for bad := 0; bad < 4; bad++ {
+		words := make([]*word.Word, 4)
+		olds := make([]uint64, 4)
+		news := make([]uint64, 4)
+		for i := 0; i < 4; i++ {
+			words[i] = &word.Word{}
+			words[i].Store(val(uint64(i)))
+			olds[i] = val(uint64(i))
+			news[i] = val(uint64(50 + i))
+		}
+		olds[bad] = val(999) // mismatch at slot `bad`
+		ok, failed := runMCAS(c, words, olds, news)
+		if ok {
+			t.Fatalf("bad=%d: must fail", bad)
+		}
+		if failed != bad {
+			t.Fatalf("bad=%d: reported slot %d", bad, failed)
+		}
+		for i := 0; i < 4; i++ {
+			if words[i].Load() != val(uint64(i)) {
+				t.Fatalf("bad=%d: word %d changed on failure", bad, i)
+			}
+		}
+	}
+}
+
+func TestMCASDuplicateWordPanics(t *testing.T) {
+	e := newEnv(1)
+	c := e.ctxs[0]
+	w := &word.Word{}
+	w.Store(val(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate words must panic")
+		}
+	}()
+	runMCAS(c, []*word.Word{w, w}, []uint64{val(1), val(1)}, []uint64{val(2), val(3)})
+}
+
+func TestMCASReadHelpsThrough(t *testing.T) {
+	e := newEnv(1)
+	c := e.ctxs[0]
+	var w word.Word
+	w.Store(val(5))
+	if got := c.Read(&w); got != val(5) {
+		t.Fatalf("Read=%#x", got)
+	}
+}
+
+// TestMCASConcurrentChains mirrors the DCAS history test: concurrent
+// 3-word MCASes over a word pool; successful transitions must chain.
+func TestMCASConcurrentChains(t *testing.T) {
+	const threads = 8
+	const wordsN = 6
+	const opsPer = 1500
+	e := newEnv(threads)
+	words := make([]word.Word, wordsN)
+	for i := range words {
+		words[i].Store(val(uint64(1000 + i)))
+	}
+	type rec struct {
+		w    [3]int
+		olds [3]uint64
+		news [3]uint64
+	}
+	results := make([][]rec, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			c := e.ctxs[tid]
+			rng := uint64(tid)*0x9e3779b97f4a7c15 + 99
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			for op := 0; op < opsPer; op++ {
+				// Pick three distinct words.
+				a := int(next() % wordsN)
+				b := (a + 1 + int(next()%(wordsN-1))) % wordsN
+				cIdx := (b + 1 + int(next()%(wordsN-2))) % wordsN
+				if cIdx == a {
+					cIdx = (cIdx + 1) % wordsN
+					if cIdx == b {
+						cIdx = (cIdx + 1) % wordsN
+					}
+				}
+				idx := [3]int{a, b, cIdx}
+				var olds, news [3]uint64
+				for k := 0; k < 3; k++ {
+					olds[k] = c.Read(&words[idx[k]])
+					news[k] = val(1<<22 | uint64(tid)<<26 | uint64(op)<<4 | uint64(k))
+				}
+				ok, _ := runMCAS(c,
+					[]*word.Word{&words[idx[0]], &words[idx[1]], &words[idx[2]]},
+					olds[:], news[:])
+				if ok {
+					results[tid] = append(results[tid], rec{idx, olds, news})
+				}
+			}
+			c.Flush()
+		}(tid)
+	}
+	wg.Wait()
+
+	perWord := make([]map[uint64]uint64, wordsN)
+	for i := range perWord {
+		perWord[i] = map[uint64]uint64{}
+	}
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+		for _, r := range rs {
+			for k := 0; k < 3; k++ {
+				if _, dup := perWord[r.w[k]][r.olds[k]]; dup {
+					t.Fatalf("word %d: old %#x consumed twice", r.w[k], r.olds[k])
+				}
+				perWord[r.w[k]][r.olds[k]] = r.news[k]
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no MCAS succeeded")
+	}
+	for i := range words {
+		cur := val(uint64(1000 + i))
+		for {
+			next, ok := perWord[i][cur]
+			if !ok {
+				break
+			}
+			delete(perWord[i], cur)
+			cur = next
+		}
+		if cur != e.ctxs[0].Read(&words[i]) {
+			t.Fatalf("word %d: chain ends at %#x, word holds %#x", i, cur, words[i].Load())
+		}
+		if len(perWord[i]) != 0 {
+			t.Fatalf("word %d: %d dangling transitions", i, len(perWord[i]))
+		}
+	}
+	t.Logf("successes=%d helps=%d", total, e.pool.Helps())
+}
+
+// TestMCASOverlappingPairsNoDeadlock: two word sets overlapping in one
+// word, hammered in opposite orders — the address-ordered phase 1 plus
+// helping must guarantee progress.
+func TestMCASOverlappingPairsNoDeadlock(t *testing.T) {
+	const threads = 4
+	const opsPer = 4000
+	e := newEnv(threads)
+	var a, b, c word.Word
+	a.Store(val(1))
+	b.Store(val(2))
+	c.Store(val(3))
+	var wg sync.WaitGroup
+	var successes [threads]int
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			cx := e.ctxs[tid]
+			var w1, w2 *word.Word
+			if tid%2 == 0 {
+				w1, w2 = &a, &b
+			} else {
+				w1, w2 = &b, &c
+			}
+			for op := 0; op < opsPer; op++ {
+				o1 := cx.Read(w1)
+				o2 := cx.Read(w2)
+				n1 := val(2<<22 | uint64(tid)<<26 | uint64(op)<<4)
+				n2 := val(3<<22 | uint64(tid)<<26 | uint64(op)<<4)
+				if ok, _ := runMCAS(cx, []*word.Word{w1, w2}, []uint64{o1, o2}, []uint64{n1, n2}); ok {
+					successes[tid]++
+				}
+			}
+			cx.Flush()
+		}(tid)
+	}
+	wg.Wait()
+	for tid, s := range successes {
+		if s == 0 {
+			t.Fatalf("thread %d starved (0/%d successes)", tid, opsPer)
+		}
+	}
+}
+
+func TestDescriptorRecyclingMCAS(t *testing.T) {
+	e := newEnv(1)
+	c := e.ctxs[0]
+	var w1, w2 word.Word
+	for i := 0; i < 500; i++ {
+		w1.Store(val(1))
+		w2.Store(val(2))
+		ok, _ := runMCAS(c, []*word.Word{&w1, &w2}, []uint64{val(1), val(2)}, []uint64{val(3), val(4)})
+		if !ok {
+			t.Fatal("sequential MCAS failed")
+		}
+	}
+	c.Flush()
+	if e.pool.next.Load() > 64 {
+		t.Fatalf("descriptor leak: %d slots carved for 500 sequential ops", e.pool.next.Load())
+	}
+}

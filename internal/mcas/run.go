@@ -1,0 +1,183 @@
+package mcas
+
+import "repro/internal/word"
+
+// run drives the MCAS to a decision and releases its words; both
+// initiators and helpers execute it. ref is the unmarked KindMCAS
+// reference.
+func (c *Ctx) run(d *Desc, ref uint64) uint64 {
+	if d.status.Load() == statusUndecided {
+		desired := statusSuccess
+	phase1:
+		for _, i := range d.order[:d.N] {
+			e := &d.Entries[i]
+			for {
+				v := c.rdcssTry(d, ref, i)
+				if v == e.Old || word.SameDesc(v, ref) {
+					// Acquired (or already acquired by a helper).
+					break
+				}
+				if word.IsDesc(v) {
+					switch word.DescKind(v) {
+					case word.KindMCAS:
+						c.HelpRef(e.Ptr, v) // help the other operation, retry
+					case word.KindDCAS:
+						if c.foreign != nil {
+							c.foreign(e.Ptr, v)
+						}
+					case word.KindRDCSS:
+						c.CompleteRDCSS(e.Ptr, v)
+					}
+					if d.status.Load() != statusUndecided {
+						break phase1
+					}
+					continue
+				}
+				// Plain value mismatch: this entry's operation failed.
+				desired = statusFailed(i)
+				break phase1
+			}
+			if d.status.Load() != statusUndecided {
+				break phase1
+			}
+		}
+		d.status.CAS(statusUndecided, desired)
+	}
+
+	// Phase 2: release every word to its new (success) or old (failure)
+	// value. Expected values are the unmarked descriptor reference the
+	// RDCSS promotions installed.
+	st := d.status.Load()
+	success := st == statusSuccess
+	for i := 0; i < d.N; i++ {
+		e := &d.Entries[i]
+		if success {
+			e.Ptr.CAS(ref, e.New)
+		} else {
+			e.Ptr.CAS(ref, e.Old)
+		}
+	}
+	return st
+}
+
+// rdcssTry attempts to acquire entry i for the operation: it installs
+// the entry's RDCSS reference in place of the old value, then promotes
+// it to the full descriptor reference if the operation is still
+// undecided (reverting otherwise). It returns e.Old on acquisition and
+// the conflicting value otherwise.
+func (c *Ctx) rdcssTry(d *Desc, mref uint64, i int) uint64 {
+	e := &d.Entries[i]
+	rref := rdcssRef(mref, i)
+	for {
+		if e.Ptr.CAS(e.Old, rref) {
+			c.promote(d, mref, i)
+			return e.Old
+		}
+		v := e.Ptr.Load()
+		if v == e.Old {
+			// The install CAS lost a race but the word holds the old
+			// value again (an ABA flip in between). Returning e.Old here
+			// would claim an acquisition that never happened — phase 2
+			// would then skip this entry entirely. Retry the install.
+			continue
+		}
+		if v == rref {
+			// Another helper installed the identical sub-descriptor;
+			// completing it is idempotent.
+			c.promote(d, mref, i)
+			continue
+		}
+		return v
+	}
+}
+
+// promote finishes an installed RDCSS: if the operation is still
+// undecided the word becomes the full descriptor reference, otherwise it
+// reverts to the old value. A promotion that races the decision can
+// strand the descriptor reference in the word; phase 2 retries by
+// helpers and the retire-time scrub clean it up, exactly like the DCAS's
+// lazy stray cleanup.
+func (c *Ctx) promote(d *Desc, mref uint64, i int) {
+	e := &d.Entries[i]
+	rref := rdcssRef(mref, i)
+	if d.status.Load() == statusUndecided {
+		e.Ptr.CAS(rref, mref)
+		// Re-check: if the operation got decided while we promoted, the
+		// full reference we just installed must not keep readers helping
+		// a finished operation; run phase 2 for this entry.
+		if decided(d.status.Load()) {
+			if d.status.Load() == statusSuccess {
+				e.Ptr.CAS(mref, e.New)
+			} else {
+				e.Ptr.CAS(mref, e.Old)
+			}
+		}
+	} else {
+		e.Ptr.CAS(rref, e.Old)
+	}
+}
+
+// HelpRef helps the MCAS whose (possibly foreign) reference v was found
+// in word w: protect, revalidate the word, validate descriptor identity,
+// mirror the initiator's hazard pointers, then run.
+func (c *Ctx) HelpRef(w *word.Word, v uint64) {
+	idx := word.DescIndex(v)
+	c.pool.dom.Protect(c.tid, c.hpdSlot, idx+1)
+	defer c.pool.dom.Clear(c.tid, c.hpdSlot)
+	if w.Load() != v {
+		return
+	}
+	d := c.pool.At(idx)
+	mref := word.UnmarkDesc(v)
+	if d.self.Load() != mref {
+		return
+	}
+	for i := 0; i < d.N && i < MaxEntries; i++ {
+		c.nodeDom.Protect(c.tid, c.mirrorBase+i, d.Entries[i].HP)
+	}
+	c.pool.helps.Add(1)
+	c.run(d, mref)
+	for i := 0; i < MaxEntries; i++ {
+		c.nodeDom.Clear(c.tid, c.mirrorBase+i)
+	}
+}
+
+// CompleteRDCSS resolves an RDCSS reference found in a word: recover the
+// owning MCAS, validate it, and promote or revert the sub-descriptor.
+func (c *Ctx) CompleteRDCSS(w *word.Word, rref uint64) {
+	idx := word.DescIndex(rref)
+	c.pool.dom.Protect(c.tid, c.rdcssSlot, idx+1)
+	defer c.pool.dom.Clear(c.tid, c.rdcssSlot)
+	if w.Load() != rref {
+		return
+	}
+	d := c.pool.At(idx)
+	mref := mcasRefOf(rref)
+	if d.self.Load() != mref {
+		return
+	}
+	i := entryOf(rref)
+	if i < 0 || i >= d.N {
+		return
+	}
+	c.promote(d, mref, i)
+}
+
+// Read returns the value of *w after helping any MCAS or RDCSS
+// descriptor announced there. DCAS references are left to the caller's
+// dispatcher.
+func (c *Ctx) Read(w *word.Word) uint64 {
+	v := w.Load()
+	for word.IsDesc(v) {
+		switch word.DescKind(v) {
+		case word.KindMCAS:
+			c.HelpRef(w, v)
+		case word.KindRDCSS:
+			c.CompleteRDCSS(w, v)
+		default:
+			return v // DCAS: caller dispatches
+		}
+		v = w.Load()
+	}
+	return v
+}

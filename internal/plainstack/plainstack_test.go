@@ -1,0 +1,64 @@
+package plainstack
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLIFO(t *testing.T) {
+	rt := core.NewRuntime(core.Config{MaxThreads: 1, ArenaCapacity: 1 << 14})
+	th := rt.RegisterThread()
+	s := New(th)
+	for i := uint64(1); i <= 100; i++ {
+		s.Push(th, i)
+	}
+	for i := uint64(100); i >= 1; i-- {
+		if v, ok := s.Pop(th); !ok || v != i {
+			t.Fatalf("pop: %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(th); ok {
+		t.Fatal("empty pop")
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	const workers, per = 4, 5000
+	rt := core.NewRuntime(core.Config{MaxThreads: workers + 1, ArenaCapacity: 1 << 18})
+	setup := rt.RegisterThread()
+	s := New(setup)
+	var wg sync.WaitGroup
+	var popped sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rt.RegisterThread()
+			for i := 0; i < per; i++ {
+				s.Push(th, uint64(w)<<32|uint64(i))
+				if v, ok := s.Pop(th); ok {
+					if _, dup := popped.LoadOrStore(v, true); dup {
+						t.Errorf("value %#x popped twice", v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for {
+		v, ok := s.Pop(setup)
+		if !ok {
+			break
+		}
+		if _, dup := popped.LoadOrStore(v, true); dup {
+			t.Fatalf("value %#x popped twice at drain", v)
+		}
+	}
+	seen := 0
+	popped.Range(func(_, _ any) bool { seen++; return true })
+	if seen != workers*per {
+		t.Fatalf("accounted %d of %d", seen, workers*per)
+	}
+}

@@ -1,0 +1,71 @@
+// Package spin provides the test-test-and-set lock the paper uses for
+// its blocking baseline (§6: "simple blocking implementations using
+// test-test-and-set to implement a lock"), with an optional exponential
+// backoff on acquisition failure.
+package spin
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/pad"
+)
+
+// TTAS is a test-test-and-set spin lock. The zero value is an unlocked
+// lock without backoff.
+type TTAS struct {
+	state atomic.Uint32
+	_     pad.Line
+}
+
+// Lock acquires the lock, spinning on a plain read until the lock looks
+// free before attempting the atomic swap (the "test-test" part), which
+// keeps the cache line in shared state while waiting.
+func (l *TTAS) Lock() {
+	for {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		spinWait(&l.state)
+	}
+}
+
+// LockBackoff acquires the lock like Lock but doubles a busy-wait after
+// every failed attempt, as in the paper's backoff experiments.
+func (l *TTAS) LockBackoff(b *backoff.Exp) {
+	for {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			b.Reset()
+			return
+		}
+		b.Wait()
+	}
+}
+
+// TryLock attempts to acquire the lock without waiting.
+func (l *TTAS) TryLock() bool {
+	return l.state.Load() == 0 && l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock. Calling Unlock on an unlocked lock panics, as
+// that always indicates a bug in lock pairing.
+func (l *TTAS) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("spin: unlock of unlocked TTAS lock")
+	}
+}
+
+// Locked reports whether the lock is currently held (for tests).
+func (l *TTAS) Locked() bool { return l.state.Load() != 0 }
+
+// spinWait reads until the state changes or a bounded number of
+// iterations passes, then yields.
+func spinWait(state *atomic.Uint32) {
+	for i := 0; i < 64; i++ {
+		if state.Load() == 0 {
+			return
+		}
+	}
+	runtime.Gosched()
+}

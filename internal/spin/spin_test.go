@@ -1,0 +1,95 @@
+package spin
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/backoff"
+)
+
+func TestLockUnlock(t *testing.T) {
+	var l TTAS
+	if l.Locked() {
+		t.Fatal("zero value must be unlocked")
+	}
+	l.Lock()
+	if !l.Locked() {
+		t.Fatal("Lock must set state")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("Unlock must clear state")
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var l TTAS
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock must succeed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock must fail")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after unlock must succeed")
+	}
+	l.Unlock()
+}
+
+func TestUnlockOfUnlockedPanics(t *testing.T) {
+	var l TTAS
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Unlock()
+}
+
+func TestMutualExclusion(t *testing.T) {
+	var l TTAS
+	const workers = 8
+	const iters = 20000
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("lost updates: %d != %d", counter, workers*iters)
+	}
+}
+
+func TestMutualExclusionWithBackoff(t *testing.T) {
+	var l TTAS
+	const workers = 4
+	const iters = 10000
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bo := backoff.New(4, 256)
+			for i := 0; i < iters; i++ {
+				l.LockBackoff(bo)
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("lost updates: %d != %d", counter, workers*iters)
+	}
+}

@@ -1,0 +1,77 @@
+// Package stats provides the summary statistics the benchmark harness
+// reports: the paper runs every configuration fifty times and plots the
+// totals, so we keep mean, standard deviation, min, max and simple
+// confidence intervals over repeated trials.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a set of trial measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over the samples. An empty slice yields a
+// zero Summary.
+func Summarize(samples []float64) Summary {
+	s := Summary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var sq float64
+	for _, v := range samples {
+		d := v - s.Mean
+		sq += d * d
+	}
+	if s.N > 1 {
+		s.Stddev = math.Sqrt(sq / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval
+// for the mean (normal approximation; the paper's 50 trials make this
+// reasonable).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev / math.Sqrt(float64(s.N))
+}
+
+// String renders the summary compactly, in milliseconds if the samples
+// were nanoseconds — the caller chooses units; this prints raw values.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f ±%.3f (min=%.3f med=%.3f max=%.3f)",
+		s.N, s.Mean, s.CI95(), s.Min, s.Median, s.Max)
+}

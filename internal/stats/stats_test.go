@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.CI95() != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Min != 5 || s.Max != 5 || s.Median != 5 || s.Stddev != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(s.Mean, 5) {
+		t.Fatalf("mean %f", s.Mean)
+	}
+	// Sample stddev with Bessel's correction: sqrt(32/7).
+	if !almostEqual(s.Stddev, math.Sqrt(32.0/7)) {
+		t.Fatalf("stddev %f", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max %f/%f", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Fatalf("median %f", s.Median)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Fatalf("median %f", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				samples = append(samples, v)
+			}
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		s := Summarize(samples)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		return s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := Summarize([]float64{1, 2, 3, 4})
+	big := Summarize(append(append(append([]float64{1, 2, 3, 4}, 1, 2, 3, 4), 1, 2, 3, 4), 1, 2, 3, 4))
+	if big.CI95() >= small.CI95() {
+		t.Fatalf("CI95 must shrink with more samples: %f vs %f", big.CI95(), small.CI95())
+	}
+}
+
+func TestString(t *testing.T) {
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Fatal("String must render")
+	}
+}
