@@ -13,6 +13,7 @@
 //	go test -bench 'A3_DCAS'     # DCAS vs two plain CASes
 //	go test -bench 'MoveN'       # §8 n-object extension
 //	go test -bench 'HashMove'    # §1.1 hash-map scenario
+//	go test -bench 'MapChurn'    # sharded-map churn + MoveN rebalance
 //
 // The paper's full parameters are 5M ops × 50 trials × 1–16 threads; the
 // benchmarks default to a scaled-down cell (100k ops) so a full sweep
@@ -370,6 +371,66 @@ func BenchmarkMoveN_vs_Move_DCAS(b *testing.B) {
 		v, _ := th.Move(src, dst, 0, 0)
 		w, _ := th.Move(dst, src, 0, 0)
 		_, _ = v, w
+	}
+}
+
+// --- E-MAP: sharded-map churn + rebalance ------------------------------------
+
+// benchMapChurn measures the keyed workload over two growing sharded
+// maps: inserts/removes/lookups mixed with keyed cross-map moves and §8
+// MoveN fan-outs, with shard grows (all entry relocations via MoveN)
+// inside the measured interval. Reported alongside ops/s: grows/trial,
+// how much rebalancing the interval absorbed.
+func benchMapChurn(b *testing.B, threads int, rebalancer bool) {
+	o := harness.MapOptions{
+		Threads:    threads,
+		TotalOps:   benchOps,
+		Trials:     1,
+		Keys:       8192,
+		Rebalancer: rebalancer,
+		Contention: harness.High,
+		Pin:        true,
+	}
+	var totalNS, grows float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := harness.RunMapChurn(o)
+		totalNS += r.Summary.Mean
+		grows += r.Grows
+	}
+	b.StopTimer()
+	b.ReportMetric(totalNS/float64(b.N)/1e6, "ms/trial")
+	b.ReportMetric(float64(benchOps)*float64(b.N)*1e9/totalNS, "ops/s")
+	b.ReportMetric(grows/float64(b.N), "grows/trial")
+}
+
+func BenchmarkMapChurn(b *testing.B) {
+	for _, threads := range benchThreads {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchMapChurn(b, threads, false)
+		})
+	}
+}
+
+func BenchmarkMapChurn_Rebalancer(b *testing.B) {
+	for _, threads := range benchThreads {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchMapChurn(b, threads, true)
+		})
+	}
+}
+
+// Plain keyed throughput on one sharded map, no moves: the map's own
+// hot path with grows amortized in.
+func BenchmarkMap_InsertRemove_1T(b *testing.B) {
+	rt := repro.NewRuntime(repro.Config{MaxThreads: 2, ArenaCapacity: 1 << 20})
+	th := rt.RegisterThread()
+	m := repro.NewHashMap(th, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & 8191
+		m.Insert(th, k, k)
+		m.Remove(th, k)
 	}
 }
 

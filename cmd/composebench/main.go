@@ -8,6 +8,11 @@
 // the blocking baseline across thread counts, with and without backoff,
 // under the high- and low-contention local-work distributions.
 //
+// Beyond the paper's figures, -figure map runs the sharded-map churn +
+// rebalance scenario: keyed operations and cross-map moves (including
+// §8 MoveN fan-outs) over two growing maps, with every grow-time entry
+// relocation performed by MoveN.
+//
 // Example (full paper configuration — takes a while):
 //
 //	composebench -figure all -threads 1,2,4,8,16 -ops 5000000 -trials 50
@@ -15,6 +20,7 @@
 // Quick shape check:
 //
 //	composebench -figure 2 -ops 200000 -trials 3
+//	composebench -figure map -ops 500000 -trials 3
 package main
 
 import (
@@ -29,7 +35,7 @@ import (
 
 func main() {
 	var (
-		figures    = flag.String("figure", "all", "figures to run: comma list of 2,3,4 or 'all'")
+		figures    = flag.String("figure", "all", "figures to run: comma list of 2,3,4,map or 'all'")
 		threads    = flag.String("threads", "1,2,4,8,16", "comma list of thread counts")
 		ops        = flag.Int("ops", 1_000_000, "total operations per trial (paper: 5000000)")
 		trials     = flag.Int("trials", 5, "trials per cell (paper: 50)")
@@ -39,6 +45,8 @@ func main() {
 		pin        = flag.Bool("pin", true, "pin workers to OS threads")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
 		mixes      = flag.String("mix", "all", "panels: move, insertremove, mixed, or 'all'")
+		rebalancer = flag.Bool("rebalancer", true, "map scenario: dedicated RebalanceStep thread")
+		keys       = flag.Int("keys", 8192, "map scenario: key-space size")
 	)
 	flag.Parse()
 
@@ -74,6 +82,13 @@ func main() {
 	}
 
 	for _, fig := range figs {
+		if fig == figureMap {
+			fmt.Printf("==== Sharded map: churn + MoveN rebalance ====\n")
+			for _, cont := range conts {
+				runMapPanel(csv, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys)
+			}
+			continue
+		}
 		pair := figurePair(fig)
 		fmt.Printf("==== Figure %d: %s evaluation ====\n", fig, pair)
 		for _, mix := range mixList {
@@ -82,6 +97,41 @@ func main() {
 					runPanel(csv, fig, pair, mix, cont, bo, ths, *ops, *trials, *prefill, *pin)
 				}
 			}
+		}
+	}
+}
+
+// runMapPanel runs the map-churn scenario across thread counts and
+// prints throughput plus how much rebalancing each trial absorbed.
+func runMapPanel(csv *os.File, cont harness.Contention, ths []int,
+	ops, trials, prefill int, pin, rebalancer bool, keys int) {
+
+	rstr := "no rebalancer"
+	if rebalancer {
+		rstr = "with rebalancer"
+	}
+	fmt.Printf("\n-- keyed churn + cross-map moves, %s contention, %s --\n", cont, rstr)
+	fmt.Printf("%8s  %14s  %12s  %12s  %10s\n", "threads", "lockfree (ms)", "ops/s", "grows/trial", "migrated")
+	for _, t := range ths {
+		r := harness.RunMapChurn(harness.MapOptions{
+			Threads: t, TotalOps: ops, Trials: trials,
+			Keys: keys, Rebalancer: rebalancer,
+			Contention: cont, Prefill: prefill, Pin: pin,
+		})
+		opsPerSec := float64(ops) / (r.Summary.Mean / 1e9)
+		fmt.Printf("%8d  %9.1f ±%4.1f  %12.0f  %12.1f  %10.1f\n", t,
+			r.Summary.Mean/1e6, r.Summary.CI95()/1e6, opsPerSec, r.Grows, r.Migrated)
+		if csv != nil {
+			// The rebalancer flag rides in the mix column; the backoff
+			// column stays honest (the scenario never enables backoff).
+			mix := "churn"
+			if rebalancer {
+				mix = "churn+rebalancer"
+			}
+			fmt.Fprintf(csv, "map,map/map,%s,%s,false,lockfree,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+				mix, cont, t, ops, trials,
+				r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
+				r.Summary.Min/1e6, r.Summary.Max/1e6)
 		}
 	}
 }
@@ -129,15 +179,23 @@ func figurePair(fig int) harness.Pair {
 	}
 }
 
+// figureMap is the pseudo-figure number selecting the map scenario.
+const figureMap = -1
+
 func parseFigures(s string) ([]int, error) {
 	if s == "all" {
-		return []int{2, 3, 4}, nil
+		return []int{2, 3, 4, figureMap}, nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
+		part = strings.TrimSpace(part)
+		if part == "map" {
+			out = append(out, figureMap)
+			continue
+		}
+		n, err := strconv.Atoi(part)
 		if err != nil || n < 2 || n > 4 {
-			return nil, fmt.Errorf("bad -figure element %q (want 2, 3 or 4)", part)
+			return nil, fmt.Errorf("bad -figure element %q (want 2, 3, 4 or map)", part)
 		}
 		out = append(out, n)
 	}

@@ -7,11 +7,14 @@ import (
 )
 
 func TestParseFigures(t *testing.T) {
-	if got, err := parseFigures("all"); err != nil || len(got) != 3 {
+	if got, err := parseFigures("all"); err != nil || len(got) != 4 || got[3] != figureMap {
 		t.Fatalf("all: %v %v", got, err)
 	}
 	if got, err := parseFigures("2,4"); err != nil || len(got) != 2 || got[0] != 2 || got[1] != 4 {
 		t.Fatalf("2,4: %v %v", got, err)
+	}
+	if got, err := parseFigures("map,3"); err != nil || len(got) != 2 || got[0] != figureMap || got[1] != 3 {
+		t.Fatalf("map,3: %v %v", got, err)
 	}
 	for _, bad := range []string{"1", "5", "x", "2,9"} {
 		if _, err := parseFigures(bad); err == nil {

@@ -15,8 +15,18 @@
 //
 // Containers: NewQueue (Michael–Scott FIFO), NewStack / NewVersionedStack
 // (Treiber LIFO, optionally with the §7 ABA counter), NewList (ordered
-// set), NewHashMap. All of them compose with Move and MoveN; keys select
-// elements in keyed containers and are ignored by queues/stacks.
+// set), NewHashMap / NewShardedHashMap (sharded resizable map). All of
+// them compose with Move and MoveN; keys select elements in keyed
+// containers and are ignored by queues/stacks.
+//
+// The hash map is sharded and resizable: shards grow cooperatively once
+// their mean bucket load passes a threshold, and every entry relocated
+// by a grow travels through a MoveN of its old and new bucket — so even
+// mid-rebalance an entry is observable in exactly one bucket, never
+// neither. Lookups, removes and moves out of the map never block on a
+// grow; HashMap.RebalanceStep lets callers drive pending migration in
+// bounded increments. Typed facades (QueueOf, StackOf, MapOf) bridge
+// arbitrary Go values onto the uint64 containers through a shared Box.
 //
 // Every goroutine that touches these objects must register once with
 // RegisterThread and pass its *Thread to every call; the Thread carries
@@ -62,7 +72,8 @@ type Stack = tstack.Stack
 // List is the move-ready lock-free ordered set (Harris list).
 type List = harrislist.List
 
-// HashMap is the move-ready lock-free hash map (array of Harris lists).
+// HashMap is the move-ready, sharded, resizable lock-free hash map
+// (shards of Harris-list buckets; grows migrate entries via MoveN).
 type HashMap = hashmap.Map
 
 // NewRuntime builds a runtime; the zero Config selects usable defaults.
@@ -82,9 +93,18 @@ func NewVersionedStack(t *Thread) *Stack { return tstack.NewVersioned(t) }
 // NewList creates an empty move-ready ordered set.
 func NewList(t *Thread) *List { return harrislist.New(t) }
 
-// NewHashMap creates a move-ready hash map with the given bucket count
-// (rounded up to a power of two).
+// NewHashMap creates a move-ready hash map with the given total initial
+// bucket count (spread over a default shard count) and the default grow
+// threshold.
 func NewHashMap(t *Thread, buckets int) *HashMap { return hashmap.New(t, buckets) }
+
+// NewShardedHashMap creates a hash map with an explicit shape: shard
+// count, initial buckets per shard (each rounded up to a power of two)
+// and the mean entries-per-bucket load that triggers a shard grow (<= 0
+// selects the default).
+func NewShardedHashMap(t *Thread, shards, bucketsPerShard, growLoad int) *HashMap {
+	return hashmap.NewSharded(t, shards, bucketsPerShard, growLoad)
+}
 
 // Move atomically moves one element from src to dst: the element is
 // never observable in both objects nor in neither. skey selects the

@@ -1,0 +1,235 @@
+package harness
+
+// This file adds the map-churn scenario: the keyed, high-fan-out
+// workload the sharded map opens up, alongside the paper's queue/stack
+// pairings. Threads churn a growing map with keyed inserts, removes,
+// lookups and cross-map moves (including §8 MoveN fan-outs into a map
+// plus an audit queue), while an optional rebalancer thread drives
+// pending shard migrations in bounded RebalanceStep increments. The
+// maps start deliberately small, so the measured interval contains real
+// grows whose entry relocations all run through MoveN.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashmap"
+	"repro/internal/msqueue"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// MapOptions configures one cell of the map-churn scenario.
+type MapOptions struct {
+	Threads  int
+	TotalOps int // distributed evenly over threads
+	Trials   int
+	// Keys is the key-space size; smaller means more collisions.
+	Keys int
+	// Shards/Buckets/GrowLoad shape both maps (see hashmap.NewSharded);
+	// the defaults (2 shards × 2 buckets, grow at 4) guarantee grows
+	// during the run.
+	Shards, Buckets, GrowLoad int
+	// MovePercent of operations are keyed cross-map moves; FanPercent of
+	// those are MoveN fan-outs into the other map plus the audit queue.
+	// The remainder splits evenly between insert, remove and lookup.
+	MovePercent, FanPercent int
+	// Rebalancer adds a dedicated thread looping RebalanceStep, so
+	// migration work overlaps the measured operations.
+	Rebalancer bool
+	Contention Contention
+	Prefill    int // entries pre-inserted per map
+	Seed       uint64
+	Pin        bool
+	// ArenaCapacity overrides the runtime sizing (0 = automatic).
+	ArenaCapacity int
+}
+
+func (o MapOptions) withDefaults() MapOptions {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.TotalOps <= 0 {
+		o.TotalOps = 1_000_000
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Keys <= 0 {
+		o.Keys = 4096
+	}
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 2
+	}
+	if o.GrowLoad <= 0 {
+		o.GrowLoad = 4
+	}
+	if o.MovePercent <= 0 {
+		o.MovePercent = 40
+	}
+	if o.FanPercent <= 0 {
+		o.FanPercent = 25
+	}
+	if o.Prefill == 0 {
+		o.Prefill = 512
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	return o
+}
+
+// MapResult aggregates the trials of one map-churn cell.
+type MapResult struct {
+	Options   MapOptions
+	SamplesNS []float64
+	Summary   stats.Summary
+	Ops       int
+	// Grows/Migrated/Steps are per-trial means of the two maps' grow
+	// stats, showing how much rebalancing the measured interval held.
+	Grows, Migrated, Steps float64
+}
+
+// MeanMS returns the mean adjusted duration in milliseconds.
+func (r MapResult) MeanMS() float64 { return r.Summary.Mean / 1e6 }
+
+// RunMapChurn executes every trial of one map-churn cell.
+func RunMapChurn(o MapOptions) MapResult {
+	o = o.withDefaults()
+	Calibrate()
+	res := MapResult{Options: o, Ops: o.TotalOps}
+	for trial := 0; trial < o.Trials; trial++ {
+		ns, grows, migrated, steps := runMapTrial(o, uint64(trial))
+		res.SamplesNS = append(res.SamplesNS, ns)
+		res.Grows += grows / float64(o.Trials)
+		res.Migrated += migrated / float64(o.Trials)
+		res.Steps += steps / float64(o.Trials)
+	}
+	res.Summary = stats.Summarize(res.SamplesNS)
+	return res
+}
+
+func runMapTrial(o MapOptions, trial uint64) (adjNS, grows, migrated, steps float64) {
+	arenaCap := o.ArenaCapacity
+	if arenaCap == 0 {
+		arenaCap = o.Prefill*8 + o.TotalOps + (1 << 16)
+	}
+	rt := core.NewRuntime(core.Config{
+		MaxThreads:    o.Threads + 2,
+		ArenaCapacity: arenaCap,
+	})
+	setup := rt.RegisterThread()
+	ma := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
+	mb := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
+	audit := msqueue.New(setup)
+	seedRng := xrand.New(o.Seed + trial*1000003)
+	keys := uint64(o.Keys)
+	for i := 0; i < o.Prefill; i++ {
+		ma.Insert(setup, seedRng.Uint64()%keys, seedRng.Uint64())
+		mb.Insert(setup, seedRng.Uint64()%keys, seedRng.Uint64())
+	}
+
+	var stop atomic.Bool
+	var rwg sync.WaitGroup
+	if o.Rebalancer {
+		reb := rt.RegisterThread()
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for !stop.Load() {
+				if !ma.RebalanceStep(reb) && !mb.RebalanceStep(reb) {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	perThread := o.TotalOps / o.Threads
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(o.Threads)
+	elapsed := make([]time.Duration, o.Threads)
+	workNS := make([]float64, o.Threads)
+
+	for w := 0; w < o.Threads; w++ {
+		th := rt.RegisterThread()
+		go func(w int, th *core.Thread) {
+			defer done.Done()
+			if o.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			rng := xrand.New(o.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15 ^ trial)
+			mean := o.Contention.workMean()
+			sd := mean / workStddevFraction
+			var work float64
+			fan := [2]core.Inserter{}
+			tkeys := [2]uint64{}
+			start.Wait()
+			t0 := time.Now()
+			for i := 0; i < perThread; i++ {
+				k := rng.Uint64() % keys
+				src, dst := ma, mb
+				if rng.Uint64()&1 == 0 {
+					src, dst = mb, ma
+				}
+				switch {
+				case int(rng.Uint64()%100) < o.MovePercent:
+					if int(rng.Uint64()%100) < o.FanPercent {
+						// §8 fan-out: the entry leaves src and appears in
+						// dst AND the audit queue in one atomic step.
+						fan[0], fan[1] = dst, audit
+						tkeys[0], tkeys[1] = k, 0
+						th.MoveN(src, fan[:], k, tkeys[:])
+						// Keep the audit queue bounded.
+						audit.Dequeue(th)
+					} else {
+						th.Move(src, dst, k, k)
+					}
+				default:
+					switch rng.Uint64() % 3 {
+					case 0:
+						src.Insert(th, k, rng.Uint64())
+					case 1:
+						src.Remove(th, k)
+					default:
+						src.Contains(th, k)
+					}
+				}
+				if mean > 0 {
+					w := rng.NormDuration(mean, sd)
+					SpinFor(w)
+					work += w
+				}
+			}
+			elapsed[w] = time.Since(t0)
+			workNS[w] = work
+		}(w, th)
+	}
+	start.Done()
+	done.Wait()
+	stop.Store(true)
+	rwg.Wait()
+
+	var wall time.Duration
+	var totalWork float64
+	for w := 0; w < o.Threads; w++ {
+		if elapsed[w] > wall {
+			wall = elapsed[w]
+		}
+		totalWork += workNS[w]
+	}
+	adj := float64(wall.Nanoseconds()) - totalWork/float64(o.Threads)
+	if adj < 0 {
+		adj = 0
+	}
+	ga, miga, sa := ma.Stats()
+	gb, migb, sb := mb.Stats()
+	return adj, float64(ga + gb), float64(miga + migb), float64(sa + sb)
+}

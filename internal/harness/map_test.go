@@ -1,0 +1,36 @@
+package harness
+
+import "testing"
+
+func TestMapChurnDefaults(t *testing.T) {
+	o := MapOptions{}.withDefaults()
+	if o.Threads != 1 || o.Trials != 1 || o.Keys != 4096 || o.GrowLoad != 4 ||
+		o.MovePercent != 40 || o.Prefill != 512 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+// TestRunMapChurnSmoke runs one small cell end to end and checks the
+// scenario actually measured what it promises: samples recorded, and
+// grows with MoveN-migrated entries inside the measured interval.
+func TestRunMapChurnSmoke(t *testing.T) {
+	r := RunMapChurn(MapOptions{
+		Threads:    2,
+		TotalOps:   20000,
+		Trials:     2,
+		Keys:       512,
+		Rebalancer: true,
+	})
+	if len(r.SamplesNS) != 2 {
+		t.Fatalf("samples=%d want 2", len(r.SamplesNS))
+	}
+	if r.Summary.Mean <= 0 {
+		t.Fatalf("mean=%v", r.Summary.Mean)
+	}
+	if r.Grows == 0 || r.Migrated == 0 {
+		t.Fatalf("grows=%v migrated=%v: the churn never grew the maps", r.Grows, r.Migrated)
+	}
+	// Steps can be zero on a single-CPU box: the thread that seals a
+	// shard usually drains it before the rebalancer gets scheduled.
+	t.Logf("grows=%.1f migrated=%.1f rebalance-steps=%.1f", r.Grows, r.Migrated, r.Steps)
+}

@@ -1,49 +1,176 @@
-// Package hashmap implements a lock-free hash map as an array of
-// move-ready ordered lists, realizing the paper's §1.1 motivating
-// scenario: "one can imagine a scenario where one wants to compose
-// together a hash-map and a linked list to provide a move operation for
-// the user".
+// Package hashmap implements a sharded, resizable, lock-free hash map
+// built from move-ready ordered lists, realizing the paper's §1.1
+// motivating scenario: "one can imagine a scenario where one wants to
+// compose together a hash-map and a linked list to provide a move
+// operation for the user".
 //
-// Because every bucket is a move-ready harrislist and the map routes
-// each operation to exactly one bucket by key, the map as a whole is
-// move-ready: its insert/remove linearization points are the bucket's.
+// # Structure
+//
+// The key space is partitioned over a fixed power-of-two number of
+// shards (low hash bits). Each shard owns a chain of bucket tables: the
+// oldest undrained table first, newer (larger) tables linked through
+// table.next. In steady state the chain is a single table; during a grow
+// it is two (the sealed table draining into its double-sized successor).
+// Every bucket is a move-ready harrislist with its own object identity,
+// so the map as a whole is move-ready — its insert/remove linearization
+// points are the bucket's — and so is every individual bucket, which is
+// what the grow path exploits.
+//
+// # Growing
+//
+// A grow reuses the paper's own machinery instead of ad-hoc migration
+// code: every entry leaves the old bucket and enters its new bucket
+// through one MoveN (§8), so migration inherits the composition
+// guarantee — at every instant an entry is observable in exactly one
+// bucket, never neither and never both. The protocol per shard:
+//
+//  1. seal: the live table's sealed flag is raised; new inserts bounce.
+//  2. quiesce: wait for the in-flight insert count to drain to zero
+//     (inserts announce themselves with a counter before re-checking the
+//     seal, a store-load fence pair), so no insert can land in the old
+//     table after draining starts.
+//  3. drain: helpers claim old buckets through an atomic cursor and move
+//     each entry with MoveN(oldBucket → newBucket). Failed moves mean
+//     another helper or a concurrent remove got the entry first.
+//  4. verify + swap: once the claim cursor is exhausted each helper
+//     re-scans all buckets (covering stalled claimants — cooperation,
+//     not waiting), then CASes the shard's table pointer forward.
+//
+// Lookups and removes never block on a grow: they walk the table chain
+// from the shard's current table. Entries only migrate forward along the
+// chain and a table's next pointer is never cleared, so a miss on the
+// final table is a linearizable miss and stale readers always reach the
+// live table.
+//
+// Progress: all operations are lock-free in steady state; during a grow,
+// lookups, removes and moves out of the map stay lock-free, while
+// inserts help migrate (cooperatively, through MoveN) before retrying.
+// The only wait is step 2's insert-quiescence, bounded by the in-flight
+// inserts admitted before the seal. Inserts arriving as the target of a
+// composed Move/MoveN while the shard is mid-grow cannot help (helping
+// would nest a move), so they reject the move: the composition aborts
+// cleanly and the caller may retry.
 package hashmap
 
 import (
+	"runtime"
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/harrislist"
+	"repro/internal/pad"
 )
 
-// Map is a fixed-capacity (bucket-count) lock-free hash map from uint64
-// keys to uint64 values.
+// DefaultShards is the shard count used by New.
+const DefaultShards = 8
+
+// DefaultGrowLoad is the mean entries-per-bucket threshold that triggers
+// a grow.
+const DefaultGrowLoad = 6
+
+// Map is a sharded, resizable lock-free hash map from uint64 keys to
+// uint64 values.
 type Map struct {
-	buckets []*harrislist.List
-	mask    uint64
-	id      uint64
+	shards    []shard
+	shardMask uint64
+	shardBits uint
+	growLoad  int64
+	id        uint64
+
+	grows    atomic.Uint64 // completed seal decisions
+	migrated atomic.Uint64 // entries relocated by MoveN during grows
+	steps    atomic.Uint64 // RebalanceStep invocations that did work
 }
 
 var _ core.MoveReady = (*Map)(nil)
 
-// New creates a map with the given number of buckets (rounded up to a
-// power of two, minimum 1).
-func New(t *core.Thread, buckets int) *Map {
-	n := 1
-	for n < buckets {
-		n <<= 1
+// shard is one partition: a chain of tables plus its element counter.
+type shard struct {
+	cur   atomic.Pointer[table] // oldest undrained table; chain via next
+	count atomic.Int64
+	_     pad.Line
+}
+
+// table is one bucket array generation of a shard.
+type table struct {
+	buckets  []*harrislist.List
+	mask     uint64
+	sealed   atomic.Bool           // no new inserts (grow pending/running)
+	ins      atomic.Int64          // in-flight inserts admitted pre-seal
+	draining atomic.Bool           // quiescence reached; entries may move
+	claim    atomic.Int64          // next bucket index to claim for drain
+	next     atomic.Pointer[table] // successor table; set once, never cleared
+}
+
+func (tb *table) bucket(h uint64, shardBits uint) *harrislist.List {
+	return tb.buckets[(h>>shardBits)&tb.mask]
+}
+
+// ceilPow2 rounds n up to a power of two, minimum 1.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
 	}
-	m := &Map{mask: uint64(n - 1), id: t.Runtime().NextObjectID()}
-	m.buckets = make([]*harrislist.List, n)
-	for i := range m.buckets {
-		m.buckets[i] = harrislist.NewWithID(m.id)
+	return p
+}
+
+// New creates a map with the given total initial bucket count spread
+// over DefaultShards shards (fewer when buckets is smaller) and the
+// default grow threshold.
+func New(t *core.Thread, buckets int) *Map {
+	shards := DefaultShards
+	if b := ceilPow2(buckets); b < shards {
+		shards = b
+	}
+	per := ceilPow2((buckets + shards - 1) / shards)
+	return NewSharded(t, shards, per, DefaultGrowLoad)
+}
+
+// NewSharded creates a map with an explicit shape: shards (rounded up to
+// a power of two), initial buckets per shard (likewise), and the mean
+// entries-per-bucket load at which a shard grows (<= 0 selects
+// DefaultGrowLoad).
+func NewSharded(t *core.Thread, shards, bucketsPerShard, growLoad int) *Map {
+	ns := ceilPow2(shards)
+	if growLoad <= 0 {
+		growLoad = DefaultGrowLoad
+	}
+	m := &Map{
+		shards:    make([]shard, ns),
+		shardMask: uint64(ns - 1),
+		growLoad:  int64(growLoad),
+		id:        t.Runtime().NextObjectID(),
+	}
+	for ns > 1 {
+		m.shardBits++
+		ns >>= 1
+	}
+	per := ceilPow2(bucketsPerShard)
+	for i := range m.shards {
+		m.shards[i].cur.Store(m.newTable(t, per))
 	}
 	return m
+}
+
+// newTable builds a bucket table; every bucket gets its own object
+// identity so grow-time MoveN sees distinct source and target objects.
+func (m *Map) newTable(t *core.Thread, buckets int) *table {
+	tb := &table{
+		buckets: make([]*harrislist.List, buckets),
+		mask:    uint64(buckets - 1),
+	}
+	for i := range tb.buckets {
+		tb.buckets[i] = harrislist.New(t)
+	}
+	return tb
 }
 
 // ObjectID implements core.MoveReady.
 func (m *Map) ObjectID() uint64 { return m.id }
 
 // hash is a 64-bit finalizer (splitmix64's mixer); good enough to spread
-// adversarial uint64 keys over buckets.
+// adversarial uint64 keys over shards and buckets.
 func hash(k uint64) uint64 {
 	k ^= k >> 30
 	k *= 0xbf58476d1ce4e5b9
@@ -53,34 +180,261 @@ func hash(k uint64) uint64 {
 	return k
 }
 
-func (m *Map) bucket(key uint64) *harrislist.List {
-	return m.buckets[hash(key)&m.mask]
-}
+func (m *Map) shard(h uint64) *shard { return &m.shards[h&m.shardMask] }
 
-// Insert adds (key, val); false when the key exists or a surrounding
-// move aborts.
+// Insert adds (key, val); false when the key exists, or when a
+// surrounding move aborts — including a move targeting a shard that is
+// mid-grow, which Insert rejects rather than blocking inside the
+// composition.
 func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
-	return m.bucket(key).Insert(t, key, val)
+	h := hash(key)
+	s := m.shard(h)
+	for {
+		tab := s.cur.Load()
+		if tab.sealed.Load() {
+			if t.MoveInFlight() {
+				return false // cannot help mid-move; abort the composition
+			}
+			m.helpGrow(t, s, tab)
+			continue
+		}
+		// Announce, then re-check the seal: if the re-check still reads
+		// unsealed, the sealer's quiescence wait is guaranteed to see
+		// this insert (both sides are sequentially consistent atomics).
+		tab.ins.Add(1)
+		if tab.sealed.Load() {
+			tab.ins.Add(-1)
+			if t.MoveInFlight() {
+				return false
+			}
+			m.helpGrow(t, s, tab)
+			continue
+		}
+		ok := tab.bucket(h, m.shardBits).Insert(t, key, val)
+		tab.ins.Add(-1)
+		if ok {
+			n := s.count.Add(1)
+			if !t.MoveInFlight() && n > int64(len(tab.buckets))*m.growLoad &&
+				tab.sealed.CompareAndSwap(false, true) {
+				m.grows.Add(1)
+				m.helpGrow(t, s, tab)
+			}
+		}
+		return ok
+	}
 }
 
-// Remove deletes key and returns its value.
+// Remove deletes key and returns its value. It walks the shard's table
+// chain: entries migrate only forward along the chain, so a miss on the
+// final table linearizes as a miss on the whole map.
 func (m *Map) Remove(t *core.Thread, key uint64) (uint64, bool) {
-	return m.bucket(key).Remove(t, key)
+	h := hash(key)
+	s := m.shard(h)
+	for tab := s.cur.Load(); tab != nil; tab = tab.next.Load() {
+		if v, ok := tab.bucket(h, m.shardBits).Remove(t, key); ok {
+			s.count.Add(-1)
+			return v, true
+		}
+	}
+	return 0, false
 }
 
-// Contains reports presence and value.
+// Contains reports presence and value, walking the table chain like
+// Remove.
 func (m *Map) Contains(t *core.Thread, key uint64) (uint64, bool) {
-	return m.bucket(key).Contains(t, key)
+	h := hash(key)
+	s := m.shard(h)
+	for tab := s.cur.Load(); tab != nil; tab = tab.next.Load() {
+		if v, ok := tab.bucket(h, m.shardBits).Contains(t, key); ok {
+			return v, true
+		}
+	}
+	return 0, false
 }
 
-// Len counts entries (quiescent use).
+// Len reports the element count from the per-shard counters: exact at
+// quiescence, a momentary snapshot under concurrency.
 func (m *Map) Len(t *core.Thread) int {
+	n := int64(0)
+	for i := range m.shards {
+		n += m.shards[i].count.Load()
+	}
+	return int(n)
+}
+
+// Keys returns every key (quiescent use: audits and tests). Order is
+// unspecified.
+func (m *Map) Keys(t *core.Thread) []uint64 {
+	var out []uint64
+	for i := range m.shards {
+		for tab := m.shards[i].cur.Load(); tab != nil; tab = tab.next.Load() {
+			for _, b := range tab.buckets {
+				out = append(out, b.Keys(t)...)
+			}
+		}
+	}
+	return out
+}
+
+// Buckets reports the total bucket count of the live (newest) tables.
+func (m *Map) Buckets() int {
 	n := 0
-	for _, b := range m.buckets {
-		n += b.Len(t)
+	for i := range m.shards {
+		tab := m.shards[i].cur.Load()
+		for nx := tab.next.Load(); nx != nil; nx = tab.next.Load() {
+			tab = nx
+		}
+		n += len(tab.buckets)
 	}
 	return n
 }
 
-// Buckets reports the bucket count (tests).
-func (m *Map) Buckets() int { return len(m.buckets) }
+// Shards reports the shard count.
+func (m *Map) Shards() int { return len(m.shards) }
+
+// Stats reports grow activity: seals decided, entries migrated through
+// MoveN, and RebalanceStep calls that performed work.
+func (m *Map) Stats() (grows, migrated, steps uint64) {
+	return m.grows.Load(), m.migrated.Load(), m.steps.Load()
+}
+
+// Grow seals the live table of every shard, forcing a resize. Draining
+// happens cooperatively: by subsequent inserts, by RebalanceStep calls,
+// or all at once via Quiesce. Must not be called inside a move.
+func (m *Map) Grow(t *core.Thread) {
+	for i := range m.shards {
+		tab := m.shards[i].cur.Load()
+		if !tab.sealed.Load() && tab.sealed.CompareAndSwap(false, true) {
+			m.grows.Add(1)
+		}
+	}
+}
+
+// RebalanceStep performs one bounded unit of rebalancing: it drains one
+// bucket of a shard whose grow is pending (finishing the table swap when
+// it was the last), or seals one shard that exceeds the load threshold.
+// It reports whether it did any work, so callers can drive migration
+// incrementally (a rebalancer thread loops until false). Must not be
+// called inside a move.
+func (m *Map) RebalanceStep(t *core.Thread) bool {
+	for i := range m.shards {
+		s := &m.shards[i]
+		tab := s.cur.Load()
+		if tab.sealed.Load() {
+			m.stepGrow(t, s, tab)
+			m.steps.Add(1)
+			return true
+		}
+		if s.count.Load() > int64(len(tab.buckets))*m.growLoad &&
+			tab.sealed.CompareAndSwap(false, true) {
+			m.grows.Add(1)
+			m.steps.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Quiesce drives every pending grow to completion. Must not be called
+// inside a move.
+func (m *Map) Quiesce(t *core.Thread) {
+	for {
+		work := false
+		for i := range m.shards {
+			s := &m.shards[i]
+			if tab := s.cur.Load(); tab.sealed.Load() {
+				m.helpGrow(t, s, tab)
+				work = true
+			}
+		}
+		if !work {
+			return
+		}
+	}
+}
+
+// ensureNext links the successor table (double the buckets), racing
+// other helpers; exactly one allocation wins.
+func (m *Map) ensureNext(t *core.Thread, tab *table) *table {
+	if next := tab.next.Load(); next != nil {
+		return next
+	}
+	nt := m.newTable(t, len(tab.buckets)*2)
+	if tab.next.CompareAndSwap(nil, nt) {
+		return nt
+	}
+	return tab.next.Load()
+}
+
+// quiesceInserts waits out the inserts admitted before the seal (step 2
+// of the grow protocol). New inserts bounce off the seal, so the counter
+// only decreases.
+func (tb *table) quiesceInserts() {
+	if tb.draining.Load() {
+		return
+	}
+	for tb.ins.Load() > 0 {
+		runtime.Gosched()
+	}
+	tb.draining.Store(true)
+}
+
+// helpGrow runs the grow protocol for one sealed table to completion.
+func (m *Map) helpGrow(t *core.Thread, s *shard, tab *table) {
+	next := m.ensureNext(t, tab)
+	tab.quiesceInserts()
+	// Claimed pass: spread concurrent helpers over distinct buckets.
+	for {
+		i := tab.claim.Add(1) - 1
+		if i >= int64(len(tab.buckets)) {
+			break
+		}
+		m.drainBucket(t, tab, next, int(i))
+	}
+	m.finishGrow(t, s, tab, next)
+}
+
+// stepGrow is helpGrow's bounded sibling for RebalanceStep: one claimed
+// bucket per call, then the finish sequence.
+func (m *Map) stepGrow(t *core.Thread, s *shard, tab *table) {
+	next := m.ensureNext(t, tab)
+	tab.quiesceInserts()
+	if i := tab.claim.Add(1) - 1; i < int64(len(tab.buckets)) {
+		m.drainBucket(t, tab, next, int(i))
+		return
+	}
+	m.finishGrow(t, s, tab, next)
+}
+
+// finishGrow is the shared tail of the grow protocol: a verification
+// pass covering buckets whose claimant stalled (inserts are sealed out,
+// so a drained bucket stays empty and one full scan suffices), then the
+// table-pointer swap.
+func (m *Map) finishGrow(t *core.Thread, s *shard, tab, next *table) {
+	for i := range tab.buckets {
+		m.drainBucket(t, tab, next, i)
+	}
+	s.cur.CompareAndSwap(tab, next)
+}
+
+// drainBucket migrates every entry of one sealed bucket into its new
+// bucket through MoveN, so each relocation is atomic: the entry is in
+// exactly one bucket at every instant. A failed MoveN means a concurrent
+// helper migrated the entry or a concurrent remove/move took it; either
+// way the bucket shrank and the loop re-reads.
+func (m *Map) drainBucket(t *core.Thread, tab, next *table, i int) {
+	src := tab.buckets[i]
+	dst := make([]core.Inserter, 1)
+	tkey := make([]uint64, 1)
+	for {
+		k, _, ok := src.Min(t)
+		if !ok {
+			return
+		}
+		dst[0] = next.bucket(hash(k), m.shardBits)
+		tkey[0] = k
+		if _, moved := t.MoveN(src, dst, k, tkey); moved {
+			m.migrated.Add(1)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package hashmap
 
 import (
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -43,6 +46,14 @@ func TestBasicOps(t *testing.T) {
 	if m.Len(th) != 500 {
 		t.Fatalf("Len=%d after removes", m.Len(th))
 	}
+	// 1000 inserts at 16 initial buckets crosses the default load
+	// threshold: the map must have grown and kept every entry.
+	if grows, _, _ := m.Stats(); grows == 0 {
+		t.Fatal("expected at least one grow at this load")
+	}
+	if m.Buckets() <= 16 {
+		t.Fatalf("Buckets=%d, map never grew", m.Buckets())
+	}
 }
 
 func TestBucketRounding(t *testing.T) {
@@ -52,6 +63,182 @@ func TestBucketRounding(t *testing.T) {
 		if got := New(th, tc.in).Buckets(); got != tc.want {
 			t.Fatalf("New(%d).Buckets()=%d want %d", tc.in, got, tc.want)
 		}
+	}
+}
+
+// TestGrowPreservesEntries forces aggressive growth on a tiny map and
+// checks no entry is lost, duplicated or corrupted.
+func TestGrowPreservesEntries(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	m := NewSharded(th, 2, 1, 2) // 2 shards × 1 bucket, grow at 2/bucket
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		if !m.Insert(th, k, k^0xabc) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	m.Quiesce(th)
+	grows, migrated, _ := m.Stats()
+	if grows == 0 || migrated == 0 {
+		t.Fatalf("grows=%d migrated=%d; grow path never ran", grows, migrated)
+	}
+	if m.Buckets() <= 2 {
+		t.Fatalf("Buckets=%d, never grew", m.Buckets())
+	}
+	if m.Len(th) != n {
+		t.Fatalf("Len=%d want %d", m.Len(th), n)
+	}
+	keys := m.Keys(th)
+	if len(keys) != n {
+		t.Fatalf("Keys returned %d entries, want %d", len(keys), n)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, k := range keys {
+		if k != uint64(i+1) {
+			t.Fatalf("keys[%d]=%d: lost or duplicated entries", i, k)
+		}
+	}
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := m.Contains(th, k); !ok || v != k^0xabc {
+			t.Fatalf("Contains(%d)=%d,%v after grow", k, v, ok)
+		}
+	}
+}
+
+// TestRebalanceStepDrivesGrow checks the incremental migration driver: a
+// forced Grow is completed purely by RebalanceStep calls.
+func TestRebalanceStepDrivesGrow(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	m := NewSharded(th, 4, 4, 1<<30) // threshold unreachable: only Grow seals
+	const n = 500
+	for k := uint64(1); k <= n; k++ {
+		m.Insert(th, k, k)
+	}
+	before := m.Buckets()
+	m.Grow(th)
+	steps := 0
+	for m.RebalanceStep(th) {
+		steps++
+		if steps > 100000 {
+			t.Fatal("RebalanceStep never converged")
+		}
+	}
+	if got := m.Buckets(); got != before*2 {
+		t.Fatalf("Buckets=%d want %d after forced grow", got, before*2)
+	}
+	_, migrated, stepped := m.Stats()
+	if migrated != n {
+		t.Fatalf("migrated=%d want %d", migrated, n)
+	}
+	if stepped == 0 {
+		t.Fatal("steps stat never advanced")
+	}
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := m.Contains(th, k); !ok || v != k {
+			t.Fatalf("Contains(%d)=%d,%v after stepped grow", k, v, ok)
+		}
+	}
+}
+
+// TestInsertRemoveRacingGrow: churn threads hammer disjoint key ranges
+// while a rebalancer forces and drives grows; every thread's final view
+// must match what it last did, and the map must audit clean.
+func TestInsertRemoveRacingGrow(t *testing.T) {
+	const workers = 4
+	const span = 400 // keys per worker
+	rt := newRT(workers + 2)
+	setup := rt.RegisterThread()
+	m := NewSharded(setup, 2, 1, 4)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	reb := rt.RegisterThread()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if !m.RebalanceStep(reb) {
+				m.Grow(reb)
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	present := make([][]bool, workers)
+	var cwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		present[w] = make([]bool, span)
+		cwg.Add(1)
+		go func(w int) {
+			defer cwg.Done()
+			th := rt.RegisterThread()
+			base := uint64(w*span) + 1
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 7
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			for i := 0; i < 6000; i++ {
+				idx := next() % span
+				k := base + idx
+				switch next() % 3 {
+				case 0:
+					if m.Insert(th, k, k*11) {
+						if present[w][idx] {
+							t.Errorf("insert %d succeeded but key was present", k)
+							return
+						}
+						present[w][idx] = true
+					} else if !present[w][idx] {
+						t.Errorf("insert %d failed but key was absent", k)
+						return
+					}
+				case 1:
+					if v, ok := m.Remove(th, k); ok {
+						if !present[w][idx] || v != k*11 {
+							t.Errorf("remove %d=(%d,%v) but present=%v", k, v, ok, present[w][idx])
+							return
+						}
+						present[w][idx] = false
+					} else if present[w][idx] {
+						t.Errorf("remove %d failed but key was present", k)
+						return
+					}
+				default:
+					if v, ok := m.Contains(th, k); ok != present[w][idx] || (ok && v != k*11) {
+						t.Errorf("contains %d=(%d,%v) but present=%v", k, v, ok, present[w][idx])
+						return
+					}
+				}
+			}
+			th.FlushMemory()
+		}(w)
+	}
+	cwg.Wait()
+	stop.Store(true)
+	wg.Wait()
+	m.Quiesce(setup)
+
+	want := 0
+	for w := 0; w < workers; w++ {
+		for idx := 0; idx < span; idx++ {
+			k := uint64(w*span) + 1 + uint64(idx)
+			v, ok := m.Contains(setup, k)
+			if ok != present[w][idx] {
+				t.Fatalf("audit: key %d present=%v want %v", k, ok, present[w][idx])
+			}
+			if ok {
+				want++
+				if v != k*11 {
+					t.Fatalf("audit: key %d corrupted to %d", k, v)
+				}
+			}
+		}
+	}
+	if got := m.Len(setup); got != want {
+		t.Fatalf("Len=%d want %d", got, want)
+	}
+	if keys := m.Keys(setup); len(keys) != want {
+		t.Fatalf("Keys walk found %d entries, counters say %d", len(keys), want)
 	}
 }
 
@@ -91,17 +278,44 @@ func TestMoveHashMapQueue(t *testing.T) {
 	}
 }
 
-// TestConcurrentMapMoves: tokens live in either of two maps (as keys) or
-// a queue; moves shuffle them around; at the end each token exists
-// exactly once.
+// TestMoveIntoGrowingShardAborts pins the composition rule for resizes:
+// a move targeting a shard that is mid-grow aborts cleanly (both objects
+// unchanged) instead of blocking inside the composition.
+func TestMoveIntoGrowingShardAborts(t *testing.T) {
+	rt := newRT(2)
+	th := rt.RegisterThread()
+	m := NewSharded(th, 1, 2, 1<<30)
+	q := msqueue.New(th)
+	q.Enqueue(th, 55)
+	m.Grow(th) // seal without draining: the shard stays mid-grow
+	if _, ok := th.Move(q, m, 0, 5); ok {
+		t.Fatal("move into sealed shard must abort")
+	}
+	if q.Len(th) != 1 {
+		t.Fatal("aborted move changed the queue")
+	}
+	// Completing the migration re-admits inserts and moves.
+	for m.RebalanceStep(th) {
+	}
+	if v, ok := th.Move(q, m, 0, 5); !ok || v != 55 {
+		t.Fatalf("move after migration: %d,%v", v, ok)
+	}
+	if v, ok := m.Contains(th, 5); !ok || v != 55 {
+		t.Fatalf("entry missing after move: %d,%v", v, ok)
+	}
+}
+
+// TestConcurrentMapMoves: tokens live in either of two maps (as keys);
+// moves shuffle them around while both maps keep growing; at the end
+// each token exists exactly once.
 func TestConcurrentMapMoves(t *testing.T) {
 	const workers = 8
 	const tokens = 256
 	const opsPer = 2000
-	rt := newRT(workers + 1)
+	rt := newRT(workers + 2)
 	setup := rt.RegisterThread()
-	m1 := New(setup, 8)
-	m2 := New(setup, 8)
+	m1 := NewSharded(setup, 2, 2, 4)
+	m2 := NewSharded(setup, 2, 2, 4)
 	for i := uint64(1); i <= tokens; i++ {
 		if i%2 == 0 {
 			m1.Insert(setup, i, i)
@@ -109,6 +323,23 @@ func TestConcurrentMapMoves(t *testing.T) {
 			m2.Insert(setup, i, i)
 		}
 	}
+	var stop atomic.Bool
+	var rwg sync.WaitGroup
+	reb := rt.RegisterThread()
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for !stop.Load() {
+			did := m1.RebalanceStep(reb)
+			if m2.RebalanceStep(reb) {
+				did = true
+			}
+			if !did {
+				m1.Grow(reb)
+				runtime.Gosched()
+			}
+		}
+	}()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -130,6 +361,10 @@ func TestConcurrentMapMoves(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	stop.Store(true)
+	rwg.Wait()
+	m1.Quiesce(setup)
+	m2.Quiesce(setup)
 	count := 0
 	for i := uint64(1); i <= tokens; i++ {
 		in1, ok1 := m1.Contains(setup, i)

@@ -1,0 +1,75 @@
+package linearize
+
+import "testing"
+
+func kv(k, v uint64) uint64 { return k<<32 | v }
+
+// TestMapPairModelSequential checks the oracle itself on hand-written
+// histories before the integration tests rely on it.
+func TestMapPairModelSequential(t *testing.T) {
+	m := MapPairModel{InitialA: map[uint64]uint64{1: 10}}
+	legal := []Op{
+		{Name: "getA", Arg: 1, Ret: 10, RetOK: true, Invoke: 1, Return: 2},
+		{Name: "putA", Arg: kv(2, 20), RetOK: true, Invoke: 3, Return: 4},
+		{Name: "putA", Arg: kv(2, 99), RetOK: false, Invoke: 5, Return: 6},
+		{Name: "mvAB", Arg: kv(2, 7), Ret: 20, RetOK: true, Invoke: 7, Return: 8},
+		{Name: "getB", Arg: 7, Ret: 20, RetOK: true, Invoke: 9, Return: 10},
+		{Name: "delA", Arg: 1, Ret: 10, RetOK: true, Invoke: 11, Return: 12},
+		{Name: "delA", Arg: 1, RetOK: false, Invoke: 13, Return: 14},
+		{Name: "mvBA", Arg: kv(9, 9), RetOK: false, Invoke: 15, Return: 16},
+	}
+	if !Check(m, legal) {
+		t.Fatal("legal sequential map history rejected")
+	}
+
+	for name, hist := range map[string][]Op{
+		"get of moved key": {
+			{Name: "mvAB", Arg: kv(1, 1), Ret: 10, RetOK: true, Invoke: 1, Return: 2},
+			{Name: "getA", Arg: 1, Ret: 10, RetOK: true, Invoke: 3, Return: 4},
+		},
+		"duplicate put succeeded": {
+			{Name: "putA", Arg: kv(1, 5), RetOK: true, Invoke: 1, Return: 2},
+		},
+		"move returned wrong value": {
+			{Name: "mvAB", Arg: kv(1, 1), Ret: 99, RetOK: true, Invoke: 1, Return: 2},
+		},
+		"move onto occupied target": {
+			{Name: "putB", Arg: kv(3, 30), RetOK: true, Invoke: 1, Return: 2},
+			{Name: "mvAB", Arg: kv(1, 3), Ret: 10, RetOK: true, Invoke: 3, Return: 4},
+		},
+		"value duplicated by move": {
+			{Name: "mvAB", Arg: kv(1, 1), Ret: 10, RetOK: true, Invoke: 1, Return: 2},
+			{Name: "getB", Arg: 1, Ret: 10, RetOK: true, Invoke: 3, Return: 4},
+			{Name: "getA", Arg: 1, Ret: 10, RetOK: true, Invoke: 5, Return: 6},
+		},
+	} {
+		if Check(m, hist) {
+			t.Fatalf("%s: illegal history accepted", name)
+		}
+	}
+}
+
+// TestMapPairModelConcurrentOverlap: overlapping ops may linearize in
+// either order.
+func TestMapPairModelConcurrentOverlap(t *testing.T) {
+	m := MapPairModel{InitialA: map[uint64]uint64{1: 10}}
+	// A concurrent get may see the state before or after the move; both
+	// observed outcomes must be accepted when intervals overlap.
+	hist := []Op{
+		{Thread: 0, Name: "mvAB", Arg: kv(1, 1), Ret: 10, RetOK: true, Invoke: 1, Return: 6},
+		{Thread: 1, Name: "getA", Arg: 1, Ret: 10, RetOK: true, Invoke: 2, Return: 5},
+	}
+	if !Check(m, hist) {
+		t.Fatal("pre-move observation within overlap rejected")
+	}
+	hist[1] = Op{Thread: 1, Name: "getA", Arg: 1, RetOK: false, Invoke: 2, Return: 5}
+	if !Check(m, hist) {
+		t.Fatal("post-move observation within overlap rejected")
+	}
+	// But once the get strictly follows the move's return, only the
+	// post-move outcome is legal.
+	hist[1] = Op{Thread: 1, Name: "getA", Arg: 1, Ret: 10, RetOK: true, Invoke: 7, Return: 8}
+	if Check(m, hist) {
+		t.Fatal("stale observation after move's return accepted")
+	}
+}

@@ -1,5 +1,7 @@
 package linearize
 
+import "sort"
+
 // Sequential models for pairs of containers with an atomic move, the
 // specification the paper's composed move must satisfy (§2,
 // linearizability per Herlihy & Wing [12]).
@@ -111,6 +113,157 @@ func (st pairState) Apply(op Op) (State, bool) {
 		return pairState{st.aKind, st.bKind, na, nb}, true
 	}
 	return nil, false
+}
+
+// MapPairModel models two keyed maps A and B with atomic cross-map
+// moves — the specification the sharded hash map must satisfy even
+// while a shard grow migrates its entries between buckets.
+//
+// Operation names understood by MapPairModel states (keys and values
+// are packed into Op.Arg as key<<32|value, so tests must keep both
+// below 2^32):
+//
+//	putA/putB  — Arg = key<<32|val; RetOK reports inserted (false:
+//	             key already present)
+//	delA/delB  — Arg = key; returns (value, ok)
+//	getA/getB  — Arg = key; returns (value, ok) without removing
+//	mvAB/mvBA  — Arg = skey<<32|tkey; atomic keyed move; returns the
+//	             moved value
+//
+// A failed move is modeled as a legal no-op from every state: besides
+// the semantic failures (missing source key, occupied target key) the
+// implementation may also reject a move whose target shard is mid-grow,
+// and a failed move changes nothing either way. Failed puts/dels/gets
+// stay strict: the implementation never rejects those spuriously.
+type MapPairModel struct {
+	InitialA, InitialB map[uint64]uint64
+}
+
+// Init implements Model.
+func (m MapPairModel) Init() State {
+	st := mapPairState{a: map[uint64]uint64{}, b: map[uint64]uint64{}}
+	for k, v := range m.InitialA {
+		st.a[k] = v
+	}
+	for k, v := range m.InitialB {
+		st.b[k] = v
+	}
+	return st
+}
+
+type mapPairState struct {
+	a, b map[uint64]uint64
+}
+
+func (st mapPairState) clone() mapPairState {
+	n := mapPairState{a: make(map[uint64]uint64, len(st.a)), b: make(map[uint64]uint64, len(st.b))}
+	for k, v := range st.a {
+		n.a[k] = v
+	}
+	for k, v := range st.b {
+		n.b[k] = v
+	}
+	return n
+}
+
+// unpackKV splits an Op.Arg encoded as key<<32|value.
+func unpackKV(arg uint64) (key, val uint64) { return arg >> 32, arg & 0xffffffff }
+
+func (st mapPairState) Apply(op Op) (State, bool) {
+	fromA := true
+	switch op.Name {
+	case "putB", "delB", "getB", "mvBA":
+		fromA = false
+	}
+	src, dst := st.a, st.b
+	if !fromA {
+		src, dst = st.b, st.a
+	}
+	// sides returns the clone's source and destination maps.
+	sides := func(n mapPairState) (s, d map[uint64]uint64) {
+		if fromA {
+			return n.a, n.b
+		}
+		return n.b, n.a
+	}
+	switch op.Name {
+	case "putA", "putB":
+		k, v := unpackKV(op.Arg)
+		_, exists := src[k]
+		if op.RetOK == exists {
+			return nil, false // inserted iff the key was absent
+		}
+		if !op.RetOK {
+			return st, true
+		}
+		n := st.clone()
+		ns, _ := sides(n)
+		ns[k] = v
+		return n, true
+	case "delA", "delB":
+		v, exists := src[op.Arg]
+		if !exists {
+			return st, !op.RetOK
+		}
+		if !op.RetOK || op.Ret != v {
+			return nil, false
+		}
+		n := st.clone()
+		ns, _ := sides(n)
+		delete(ns, op.Arg)
+		return n, true
+	case "getA", "getB":
+		v, exists := src[op.Arg]
+		if op.RetOK != exists || (exists && op.Ret != v) {
+			return nil, false
+		}
+		return st, true
+	case "mvAB", "mvBA":
+		if !op.RetOK {
+			return st, true // failed moves are no-ops (see type doc)
+		}
+		skey, tkey := unpackKV(op.Arg)
+		v, exists := src[skey]
+		if !exists || op.Ret != v {
+			return nil, false
+		}
+		if _, occupied := dst[tkey]; occupied {
+			return nil, false // a successful move needs a free target key
+		}
+		n := st.clone()
+		ns, nd := sides(n)
+		delete(ns, skey)
+		nd[tkey] = v
+		return n, true
+	}
+	return nil, false
+}
+
+// Key canonically encodes both maps as sorted (key, value) pairs with a
+// separator, so distinct states never collide in the memo table.
+func (st mapPairState) Key() string {
+	buf := make([]byte, 0, 16*(len(st.a)+len(st.b))+1)
+	enc := func(m map[uint64]uint64) {
+		keys := make([]uint64, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			for x, i := k, 0; i < 8; i++ {
+				buf = append(buf, byte(x))
+				x >>= 8
+			}
+			for x, i := m[k], 0; i < 8; i++ {
+				buf = append(buf, byte(x))
+				x >>= 8
+			}
+		}
+	}
+	enc(st.a)
+	buf = append(buf, 0xfe)
+	enc(st.b)
+	return string(buf)
 }
 
 // Key canonically encodes both sequences (little-endian bytes with a

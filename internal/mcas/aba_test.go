@@ -1,6 +1,7 @@
 package mcas
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -22,13 +23,29 @@ func TestMCASUnderABANoise(t *testing.T) {
 	var w1, w2, w3 word.Word
 	oldA := val(1) // w3 flips between oldA and noiseB
 	noiseB := val(2)
+	// Arm w3 before the noise starts: on a single-CPU box the noise
+	// goroutine may not run before the main loop's first iterations, and
+	// an uninitialized w3 (Nil) would fail every MCAS at slot 2.
+	w3.Store(oldA)
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for !stop.Load() {
+		// Duty-cycled noise: flip in bursts, then pause briefly. A
+		// continuous tight flip loop can starve every MCAS install on
+		// this word for the whole test (all 30000 iterations fail and
+		// the all-entries-applied assertion never runs); the pauses
+		// leave windows in which an MCAS can win while the bursts keep
+		// exercising the install-race and helping paths.
+		const burst = 512
+		for flips := 0; !stop.Load(); flips++ {
+			if flips%burst == 0 {
+				for i := 0; i < 64 && !stop.Load(); i++ {
+					runtime.Gosched()
+				}
+			}
 			// Flip w3: oldA → noiseB → oldA. Readers mid-MCAS can catch
 			// either; an MCAS expecting oldA succeeds only if it wins
 			// the install race.

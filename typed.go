@@ -145,6 +145,72 @@ func (s *StackOf[T]) Pop(t *Thread) (T, bool) {
 	return s.Box.Take(h), true
 }
 
+// MapOf is a typed facade over HashMap: a sharded, resizable lock-free
+// map from uint64 keys to T values that still composes with every
+// move-ready object (its elements are Box handles).
+type MapOf[T any] struct {
+	M   *HashMap
+	Box *Box[T]
+}
+
+// NewMapOf builds a typed map sharing the given box (pass the same box
+// to containers you intend to move elements between). buckets is the
+// total initial bucket count, as in NewHashMap.
+func NewMapOf[T any](t *Thread, box *Box[T], buckets int) *MapOf[T] {
+	return &MapOf[T]{M: NewHashMap(t, buckets), Box: box}
+}
+
+// Put stores v under key; false when the key already exists.
+func (m *MapOf[T]) Put(t *Thread, key uint64, v T) bool {
+	h := m.Box.Put(v)
+	if m.M.Insert(t, key, h) {
+		return true
+	}
+	m.Box.Take(h)
+	return false
+}
+
+// Delete removes key and returns its value.
+func (m *MapOf[T]) Delete(t *Thread, key uint64) (T, bool) {
+	h, ok := m.M.Remove(t, key)
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return m.Box.Take(h), true
+}
+
+// Get returns the value stored under key without removing it. The value
+// is read through the handle present at lookup time; a Delete racing the
+// read may hand back a value the key no longer maps to — like any
+// lookup, the result is a snapshot, not a lock.
+func (m *MapOf[T]) Get(t *Thread, key uint64) (T, bool) {
+	h, ok := m.M.Contains(t, key)
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return m.Box.Peek(h), true
+}
+
+// MoveKeyed atomically moves the entry under skey in src to tkey in dst,
+// two typed maps backed by the same Box: the handle moves in one step,
+// so the value is visible through exactly one map at every instant. Like
+// Get, the returned value is read through the handle after the move
+// commits: a Delete of tkey racing this call may hand back a value the
+// key no longer maps to — a snapshot, not a lock.
+func MoveKeyed[T any](t *Thread, src, dst *MapOf[T], skey, tkey uint64) (T, bool) {
+	if src.Box != dst.Box {
+		panic("repro: MoveKeyed requires maps sharing one Box")
+	}
+	h, ok := Move(t, src.M, dst.M, skey, tkey)
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return dst.Box.Peek(h), true
+}
+
 // MoveTyped moves one element between typed containers backed by the
 // same Box: the handle moves atomically; the value never leaves the box,
 // so it is visible through exactly one container at every instant.

@@ -129,3 +129,51 @@ func TestTypedConcurrent(t *testing.T) {
 		t.Fatalf("accounted %d of %d", n, workers*per)
 	}
 }
+
+func TestTypedMap(t *testing.T) {
+	rt := repro.NewRuntime(repro.Config{MaxThreads: 2})
+	th := rt.RegisterThread()
+	box := repro.NewBox[payload]()
+	hot := repro.NewMapOf[payload](th, box, 4)
+	cold := repro.NewMapOf[payload](th, box, 4)
+
+	if !hot.Put(th, 7, payload{7, "seven"}) {
+		t.Fatal("Put failed")
+	}
+	if hot.Put(th, 7, payload{8, "dup"}) {
+		t.Fatal("duplicate Put succeeded")
+	}
+	if v, ok := hot.Get(th, 7); !ok || v.Name != "seven" {
+		t.Fatalf("Get: %+v,%v", v, ok)
+	}
+	// Atomic keyed move between typed maps sharing the box.
+	if v, ok := repro.MoveKeyed(th, hot, cold, 7, 70); !ok || v.ID != 7 {
+		t.Fatalf("MoveKeyed: %+v,%v", v, ok)
+	}
+	if _, ok := hot.Get(th, 7); ok {
+		t.Fatal("entry still visible in source map")
+	}
+	if v, ok := cold.Get(th, 70); !ok || v.Name != "seven" {
+		t.Fatalf("entry missing from target map: %+v,%v", v, ok)
+	}
+	if v, ok := cold.Delete(th, 70); !ok || v.ID != 7 {
+		t.Fatalf("Delete: %+v,%v", v, ok)
+	}
+	if _, ok := cold.Delete(th, 70); ok {
+		t.Fatal("second Delete succeeded")
+	}
+	// Growth keeps typed entries reachable.
+	for i := uint64(100); i < 600; i++ {
+		if !hot.Put(th, i, payload{int(i), "bulk"}) {
+			t.Fatalf("bulk Put %d failed", i)
+		}
+	}
+	if grows, _, _ := hot.M.Stats(); grows == 0 {
+		t.Fatal("typed map never grew")
+	}
+	for i := uint64(100); i < 600; i++ {
+		if v, ok := hot.Get(th, i); !ok || v.ID != int(i) {
+			t.Fatalf("Get(%d) after grow: %+v,%v", i, v, ok)
+		}
+	}
+}
