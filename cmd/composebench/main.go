@@ -11,7 +11,15 @@
 // Beyond the paper's figures, -figure map runs the sharded-map churn +
 // rebalance scenario: keyed operations and cross-map moves (including
 // §8 MoveN fan-outs) over two growing maps, with every grow-time entry
-// relocation performed by MoveN.
+// relocation performed by MoveN; -keydist zipfian skews its keys. And
+// -figure elim sweeps the §6 high-contention stack/stack cell with the
+// elimination-backoff layer off and on, reporting hit rate and speedup.
+// The -elim flag instead toggles the layer inside the paper figures'
+// lock-free cells (off, on, or both variants per cell).
+//
+// -json FILE additionally writes every cell as a machine-readable
+// record (mean/CI plus derived ns/op and ops/s per thread count), the
+// format the perf-trajectory BENCH_*.json files are produced from.
 //
 // Example (full paper configuration — takes a while):
 //
@@ -20,33 +28,116 @@
 // Quick shape check:
 //
 //	composebench -figure 2 -ops 200000 -trials 3
-//	composebench -figure map -ops 500000 -trials 3
+//	composebench -figure map -ops 500000 -trials 3 -keydist zipfian
+//	composebench -figure elim -ops 500000 -trials 3 -json BENCH_elim.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/harness"
 )
 
+// jsonRow is one cell of machine-readable output: raw trial statistics
+// plus the derived per-operation metrics the perf trajectory tracks.
+type jsonRow struct {
+	Figure      string  `json:"figure"`
+	Pair        string  `json:"pair"`
+	Mix         string  `json:"mix"`
+	Contention  string  `json:"contention"`
+	Backoff     bool    `json:"backoff"`
+	Elimination bool    `json:"elimination"`
+	Impl        string  `json:"impl"`
+	Threads     int     `json:"threads"`
+	Ops         int     `json:"ops"`
+	Trials      int     `json:"trials"`
+	MeanMS      float64 `json:"mean_ms"`
+	CI95MS      float64 `json:"ci95_ms"`
+	MinMS       float64 `json:"min_ms"`
+	MaxMS       float64 `json:"max_ms"`
+	NSPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	// Always emitted (no omitempty): a recorded zero is itself a signal
+	// (0% hit rate, a run with no grows), distinct from stats never
+	// having been collected; the figure field tells map cells apart.
+	ElimHits   float64 `json:"elim_hits"`
+	ElimMisses float64 `json:"elim_misses"`
+	Grows      float64 `json:"grows"`
+	Migrated   float64 `json:"migrated"`
+}
+
+// jsonDoc is the -json file layout: host context (thread counts beyond
+// host_cpus time-slice one CPU, which flattens contention effects),
+// then one row per cell.
+type jsonDoc struct {
+	HostCPUs int       `json:"host_cpus"`
+	Rows     []jsonRow `json:"rows"`
+}
+
+// sink collects the optional CSV and JSON outputs.
+type sink struct {
+	csv  *os.File
+	doc  *jsonDoc
+	path string
+}
+
+func (s *sink) add(r jsonRow) {
+	if s.doc != nil {
+		s.doc.Rows = append(s.doc.Rows, r)
+	}
+}
+
+func (s *sink) flush() {
+	if s.doc == nil {
+		return
+	}
+	b, err := json.MarshalIndent(s.doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(s.path, append(b, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// row derives the JSON record from one harness result.
+func row(figure string, o harness.Options, r harness.Result) jsonRow {
+	return jsonRow{
+		Figure: figure, Pair: o.Pair.String(), Mix: o.Mix.String(),
+		Contention: o.Contention.String(), Backoff: o.Backoff,
+		Elimination: o.Elimination, Impl: o.Impl.String(),
+		Threads: o.Threads, Ops: r.Ops, Trials: len(r.SamplesNS),
+		MeanMS: r.Summary.Mean / 1e6, CI95MS: r.Summary.CI95() / 1e6,
+		MinMS: r.Summary.Min / 1e6, MaxMS: r.Summary.Max / 1e6,
+		NSPerOp:   r.Summary.Mean / float64(r.Ops),
+		OpsPerSec: float64(r.Ops) * 1e9 / r.Summary.Mean,
+		ElimHits:  r.ElimHits, ElimMisses: r.ElimMisses,
+	}
+}
+
 func main() {
 	var (
-		figures    = flag.String("figure", "all", "figures to run: comma list of 2,3,4,map or 'all'")
+		figures    = flag.String("figure", "all", "figures to run: comma list of 2,3,4,map,elim or 'all'")
 		threads    = flag.String("threads", "1,2,4,8,16", "comma list of thread counts")
 		ops        = flag.Int("ops", 1_000_000, "total operations per trial (paper: 5000000)")
 		trials     = flag.Int("trials", 5, "trials per cell (paper: 50)")
 		contention = flag.String("contention", "high", "local-work level: high, low, both, none")
 		backoff    = flag.String("backoff", "off", "backoff: off, on, both (paper reports both)")
+		elimFlag   = flag.String("elim", "off", "elimination layer on lock-free cells: off, on, both")
 		prefill    = flag.Int("prefill", 512, "elements pre-inserted per object")
 		pin        = flag.Bool("pin", true, "pin workers to OS threads")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
+		jsonPath   = flag.String("json", "", "also write results as JSON to this file (perf trajectory format)")
 		mixes      = flag.String("mix", "all", "panels: move, insertremove, mixed, or 'all'")
 		rebalancer = flag.Bool("rebalancer", true, "map scenario: dedicated RebalanceStep thread")
 		keys       = flag.Int("keys", 8192, "map scenario: key-space size")
+		keydist    = flag.String("keydist", "uniform", "map scenario key distribution: uniform, zipfian")
 	)
 	flag.Parse()
 
@@ -62,7 +153,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	backs, err := parseBackoff(*backoff)
+	backs, err := parseOnOffBoth("backoff", *backoff)
+	if err != nil {
+		fatal(err)
+	}
+	elims, err := parseOnOffBoth("elim", *elimFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,98 +165,172 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	zipf, err := parseKeyDist(*keydist)
+	if err != nil {
+		fatal(err)
+	}
 
-	var csv *os.File
+	out := &sink{}
 	if *csvPath != "" {
-		csv, err = os.Create(*csvPath)
+		out.csv, err = os.Create(*csvPath)
 		if err != nil {
 			fatal(err)
 		}
-		defer csv.Close()
-		fmt.Fprintln(csv, "figure,pair,mix,contention,backoff,impl,threads,ops,trials,mean_ms,ci95_ms,min_ms,max_ms")
+		defer out.csv.Close()
+		fmt.Fprintln(out.csv, "figure,pair,mix,contention,backoff,elim,impl,threads,ops,trials,mean_ms,ci95_ms,min_ms,max_ms")
+	}
+	if *jsonPath != "" {
+		out.doc = &jsonDoc{HostCPUs: runtime.NumCPU()}
+		out.path = *jsonPath
 	}
 
 	for _, fig := range figs {
-		if fig == figureMap {
+		switch fig {
+		case figureMap:
 			fmt.Printf("==== Sharded map: churn + MoveN rebalance ====\n")
 			for _, cont := range conts {
-				runMapPanel(csv, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys)
+				runMapPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys, zipf)
 			}
-			continue
-		}
-		pair := figurePair(fig)
-		fmt.Printf("==== Figure %d: %s evaluation ====\n", fig, pair)
-		for _, mix := range mixList {
+		case figureElim:
+			fmt.Printf("==== Elimination backoff: stack/stack under contention ====\n")
 			for _, cont := range conts {
-				for _, bo := range backs {
-					runPanel(csv, fig, pair, mix, cont, bo, ths, *ops, *trials, *prefill, *pin)
+				runElimPanel(out, cont, ths, *ops, *trials, *prefill, *pin)
+			}
+		default:
+			pair := figurePair(fig)
+			fmt.Printf("==== Figure %d: %s evaluation ====\n", fig, pair)
+			for _, mix := range mixList {
+				for _, cont := range conts {
+					for _, bo := range backs {
+						for _, el := range elims {
+							runPanel(out, fig, pair, mix, cont, bo, el, ths, *ops, *trials, *prefill, *pin)
+						}
+					}
 				}
 			}
 		}
 	}
+	out.flush()
 }
 
 // runMapPanel runs the map-churn scenario across thread counts and
 // prints throughput plus how much rebalancing each trial absorbed.
-func runMapPanel(csv *os.File, cont harness.Contention, ths []int,
-	ops, trials, prefill int, pin, rebalancer bool, keys int) {
+func runMapPanel(out *sink, cont harness.Contention, ths []int,
+	ops, trials, prefill int, pin, rebalancer bool, keys int, zipf bool) {
 
 	rstr := "no rebalancer"
 	if rebalancer {
 		rstr = "with rebalancer"
 	}
-	fmt.Printf("\n-- keyed churn + cross-map moves, %s contention, %s --\n", cont, rstr)
+	dist := "uniform keys"
+	if zipf {
+		dist = "zipfian keys"
+	}
+	fmt.Printf("\n-- keyed churn + cross-map moves, %s contention, %s, %s --\n", cont, rstr, dist)
 	fmt.Printf("%8s  %14s  %12s  %12s  %10s\n", "threads", "lockfree (ms)", "ops/s", "grows/trial", "migrated")
 	for _, t := range ths {
 		r := harness.RunMapChurn(harness.MapOptions{
 			Threads: t, TotalOps: ops, Trials: trials,
-			Keys: keys, Rebalancer: rebalancer,
+			Keys: keys, Rebalancer: rebalancer, Zipf: zipf,
 			Contention: cont, Prefill: prefill, Pin: pin,
 		})
 		opsPerSec := float64(ops) / (r.Summary.Mean / 1e9)
 		fmt.Printf("%8d  %9.1f ±%4.1f  %12.0f  %12.1f  %10.1f\n", t,
 			r.Summary.Mean/1e6, r.Summary.CI95()/1e6, opsPerSec, r.Grows, r.Migrated)
-		if csv != nil {
-			// The rebalancer flag rides in the mix column; the backoff
-			// column stays honest (the scenario never enables backoff).
-			mix := "churn"
-			if rebalancer {
-				mix = "churn+rebalancer"
-			}
-			fmt.Fprintf(csv, "map,map/map,%s,%s,false,lockfree,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+		// The rebalancer flag and key distribution ride in the mix
+		// column; the backoff column stays honest (the scenario never
+		// enables backoff).
+		mix := "churn"
+		if rebalancer {
+			mix = "churn+rebalancer"
+		}
+		if zipf {
+			mix += "+zipf"
+		}
+		if out.csv != nil {
+			fmt.Fprintf(out.csv, "map,map/map,%s,%s,false,false,lockfree,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
 				mix, cont, t, ops, trials,
 				r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
 				r.Summary.Min/1e6, r.Summary.Max/1e6)
 		}
+		out.add(jsonRow{
+			Figure: "map", Pair: "map/map", Mix: mix,
+			Contention: cont.String(), Impl: harness.LockFree.String(),
+			Threads: t, Ops: r.Ops, Trials: len(r.SamplesNS),
+			MeanMS: r.Summary.Mean / 1e6, CI95MS: r.Summary.CI95() / 1e6,
+			MinMS: r.Summary.Min / 1e6, MaxMS: r.Summary.Max / 1e6,
+			NSPerOp:   r.Summary.Mean / float64(r.Ops),
+			OpsPerSec: opsPerSec,
+			ElimHits:  r.ElimHits, ElimMisses: r.ElimMisses,
+			Grows: r.Grows, Migrated: r.Migrated,
+		})
 	}
 }
 
-func runPanel(csv *os.File, fig int, pair harness.Pair, mix harness.Mix,
-	cont harness.Contention, backoff bool, ths []int, ops, trials, prefill int, pin bool) {
+// runElimPanel sweeps the stack/stack insert/remove cell with the
+// elimination layer off and on — the layer's showcase configuration —
+// printing the hit rate the on-run achieved.
+func runElimPanel(out *sink, cont harness.Contention, ths []int,
+	ops, trials, prefill int, pin bool) {
+
+	fmt.Printf("\n-- stack/stack insert/remove, %s contention, elimination off vs on --\n", cont)
+	fmt.Printf("%8s  %14s  %14s  %9s  %9s\n", "threads", "elim off (ms)", "elim on (ms)", "hit rate", "speedup")
+	cells := harness.RunElimSweep(harness.Options{
+		Pair: harness.StackStack, Mix: harness.InsertRemoveOnly,
+		Contention: cont, TotalOps: ops, Trials: trials,
+		Prefill: prefill, Pin: pin,
+	}, ths)
+	for _, c := range cells {
+		fmt.Printf("%8d  %9.1f ±%4.1f  %9.1f ±%4.1f  %8.2f%%  %8.2fx\n", c.Threads,
+			c.Off.Summary.Mean/1e6, c.Off.Summary.CI95()/1e6,
+			c.On.Summary.Mean/1e6, c.On.Summary.CI95()/1e6,
+			100*c.HitRate(), c.Speedup())
+		for _, r := range []harness.Result{c.Off, c.On} {
+			if out.csv != nil {
+				fmt.Fprintf(out.csv, "elim,%s,%s,%s,%v,%v,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+					r.Options.Pair, r.Options.Mix, cont, r.Options.Backoff,
+					r.Options.Elimination, r.Options.Impl, c.Threads, ops, trials,
+					r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
+					r.Summary.Min/1e6, r.Summary.Max/1e6)
+			}
+			out.add(row("elim", r.Options, r))
+		}
+	}
+}
+
+func runPanel(out *sink, fig int, pair harness.Pair, mix harness.Mix,
+	cont harness.Contention, backoff, elim bool, ths []int, ops, trials, prefill int, pin bool) {
 
 	bstr := "no backoff"
 	if backoff {
 		bstr = "with backoff"
 	}
+	if elim {
+		bstr += ", with elimination"
+	}
 	fmt.Printf("\n-- %s operations, %s contention, %s --\n", mix, cont, bstr)
 	fmt.Printf("%8s  %14s  %14s\n", "threads", "lockfree (ms)", "blocking (ms)")
 	for _, t := range ths {
-		row := make(map[harness.Impl]harness.Result)
+		byImpl := make(map[harness.Impl]harness.Result)
 		for _, impl := range []harness.Impl{harness.LockFree, harness.Blocking} {
-			r := harness.Run(harness.Options{
+			o := harness.Options{
 				Impl: impl, Pair: pair, Mix: mix, Contention: cont,
 				Threads: t, TotalOps: ops, Trials: trials,
 				Backoff: backoff, Prefill: prefill, Pin: pin,
-			})
-			row[impl] = r
-			if csv != nil {
-				fmt.Fprintf(csv, "%d,%s,%s,%s,%v,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
-					fig, pair, mix, cont, backoff, impl, t, ops, trials,
+				// The layer only exists on the lock-free side.
+				Elimination: elim && impl == harness.LockFree,
+			}
+			r := harness.Run(o)
+			byImpl[impl] = r
+			if out.csv != nil {
+				fmt.Fprintf(out.csv, "%d,%s,%s,%s,%v,%v,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+					fig, pair, mix, cont, backoff, o.Elimination, impl, t, ops, trials,
 					r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
 					r.Summary.Min/1e6, r.Summary.Max/1e6)
 			}
+			out.add(row(fmt.Sprintf("%d", fig), o, r))
 		}
-		lf, bl := row[harness.LockFree], row[harness.Blocking]
+		lf, bl := byImpl[harness.LockFree], byImpl[harness.Blocking]
 		fmt.Printf("%8d  %9.1f ±%4.1f  %9.1f ±%4.1f\n", t,
 			lf.Summary.Mean/1e6, lf.Summary.CI95()/1e6,
 			bl.Summary.Mean/1e6, bl.Summary.CI95()/1e6)
@@ -179,27 +348,59 @@ func figurePair(fig int) harness.Pair {
 	}
 }
 
-// figureMap is the pseudo-figure number selecting the map scenario.
-const figureMap = -1
+// figureMap and figureElim are the pseudo-figure numbers selecting the
+// map-churn and elimination-sweep scenarios.
+const (
+	figureMap  = -1
+	figureElim = -2
+)
 
 func parseFigures(s string) ([]int, error) {
 	if s == "all" {
-		return []int{2, 3, 4, figureMap}, nil
+		return []int{2, 3, 4, figureMap, figureElim}, nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
-		if part == "map" {
+		switch part {
+		case "map":
 			out = append(out, figureMap)
+			continue
+		case "elim":
+			out = append(out, figureElim)
 			continue
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 2 || n > 4 {
-			return nil, fmt.Errorf("bad -figure element %q (want 2, 3, 4 or map)", part)
+			return nil, fmt.Errorf("bad -figure element %q (want 2, 3, 4, map or elim)", part)
 		}
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// parseOnOffBoth parses a three-state toggle flag.
+func parseOnOffBoth(name, s string) ([]bool, error) {
+	switch s {
+	case "off":
+		return []bool{false}, nil
+	case "on":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	}
+	return nil, fmt.Errorf("bad -%s %q (want off, on or both)", name, s)
+}
+
+// parseKeyDist parses the map scenario's key distribution.
+func parseKeyDist(s string) (zipf bool, err error) {
+	switch s {
+	case "uniform":
+		return false, nil
+	case "zipfian", "zipf":
+		return true, nil
+	}
+	return false, fmt.Errorf("bad -keydist %q (want uniform or zipfian)", s)
 }
 
 func parseInts(s string) ([]int, error) {
@@ -226,18 +427,6 @@ func parseContention(s string) ([]harness.Contention, error) {
 		return []harness.Contention{harness.NoWork}, nil
 	}
 	return nil, fmt.Errorf("bad -contention %q", s)
-}
-
-func parseBackoff(s string) ([]bool, error) {
-	switch s {
-	case "off":
-		return []bool{false}, nil
-	case "on":
-		return []bool{true}, nil
-	case "both":
-		return []bool{false, true}, nil
-	}
-	return nil, fmt.Errorf("bad -backoff %q", s)
 }
 
 func parseMixes(s string) ([]harness.Mix, error) {

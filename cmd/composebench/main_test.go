@@ -1,13 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	"repro/internal/harness"
 )
 
 func TestParseFigures(t *testing.T) {
-	if got, err := parseFigures("all"); err != nil || len(got) != 4 || got[3] != figureMap {
+	if got, err := parseFigures("all"); err != nil || len(got) != 5 ||
+		got[3] != figureMap || got[4] != figureElim {
 		t.Fatalf("all: %v %v", got, err)
 	}
 	if got, err := parseFigures("2,4"); err != nil || len(got) != 2 || got[0] != 2 || got[1] != 4 {
@@ -16,10 +19,31 @@ func TestParseFigures(t *testing.T) {
 	if got, err := parseFigures("map,3"); err != nil || len(got) != 2 || got[0] != figureMap || got[1] != 3 {
 		t.Fatalf("map,3: %v %v", got, err)
 	}
+	if got, err := parseFigures("elim"); err != nil || len(got) != 1 || got[0] != figureElim {
+		t.Fatalf("elim: %v %v", got, err)
+	}
 	for _, bad := range []string{"1", "5", "x", "2,9"} {
 		if _, err := parseFigures(bad); err == nil {
 			t.Fatalf("%q should fail", bad)
 		}
+	}
+}
+
+func TestParseOnOffBothAndKeyDist(t *testing.T) {
+	if got, _ := parseOnOffBoth("elim", "both"); len(got) != 2 || got[0] || !got[1] {
+		t.Fatalf("both: %v", got)
+	}
+	if _, err := parseOnOffBoth("elim", "sometimes"); err == nil {
+		t.Fatal("bad three-state accepted")
+	}
+	if z, err := parseKeyDist("zipfian"); err != nil || !z {
+		t.Fatal("zipfian")
+	}
+	if z, err := parseKeyDist("uniform"); err != nil || z {
+		t.Fatal("uniform")
+	}
+	if _, err := parseKeyDist("pareto"); err == nil {
+		t.Fatal("bad keydist accepted")
 	}
 }
 
@@ -59,16 +83,16 @@ func TestParseContention(t *testing.T) {
 }
 
 func TestParseBackoff(t *testing.T) {
-	if got, _ := parseBackoff("both"); len(got) != 2 || got[0] || !got[1] {
+	if got, _ := parseOnOffBoth("backoff", "both"); len(got) != 2 || got[0] || !got[1] {
 		t.Fatalf("both: %v", got)
 	}
-	if got, _ := parseBackoff("on"); len(got) != 1 || !got[0] {
+	if got, _ := parseOnOffBoth("backoff", "on"); len(got) != 1 || !got[0] {
 		t.Fatal("on")
 	}
-	if got, _ := parseBackoff("off"); len(got) != 1 || got[0] {
+	if got, _ := parseOnOffBoth("backoff", "off"); len(got) != 1 || got[0] {
 		t.Fatal("off")
 	}
-	if _, err := parseBackoff("maybe"); err == nil {
+	if _, err := parseOnOffBoth("backoff", "maybe"); err == nil {
 		t.Fatal("bad backoff accepted")
 	}
 }
@@ -91,5 +115,44 @@ func TestFigurePair(t *testing.T) {
 		figurePair(3) != harness.QueueQueue ||
 		figurePair(4) != harness.StackStack {
 		t.Fatal("figure-to-pair mapping broken")
+	}
+}
+
+// TestJSONSinkEndToEnd runs one tiny elim panel and one map panel
+// through the sink and checks the written JSON parses back with the
+// derived metrics filled in.
+func TestJSONSinkEndToEnd(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	out := &sink{doc: &jsonDoc{HostCPUs: 1}, path: path}
+	runElimPanel(out, harness.NoWork, []int{1, 2}, 20000, 1, 64, false)
+	runMapPanel(out, harness.NoWork, []int{1}, 20000, 1, 64, false, true, 512, true)
+	out.flush()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("written JSON does not parse: %v", err)
+	}
+	// 2 thread counts x (off, on) + 1 map row.
+	if len(doc.Rows) != 5 {
+		t.Fatalf("rows=%d want 5", len(doc.Rows))
+	}
+	sawElimOn := false
+	for _, r := range doc.Rows {
+		if r.MeanMS <= 0 || r.NSPerOp <= 0 || r.OpsPerSec <= 0 {
+			t.Fatalf("row %+v missing derived metrics", r)
+		}
+		if r.Figure == "elim" && r.Elimination {
+			sawElimOn = true
+		}
+	}
+	if !sawElimOn {
+		t.Fatal("no elimination-enabled row recorded")
+	}
+	if doc.Rows[4].Figure != "map" || doc.Rows[4].Grows == 0 {
+		t.Fatalf("map row did not record grow stats: %+v", doc.Rows[4])
 	}
 }

@@ -7,7 +7,14 @@
 // token is audited, and circulation resumes. Any mismatch aborts with a
 // non-zero exit code.
 //
+// The rotation covers same-kind pairs (queue/queue, stack/stack,
+// map/map, list/list), the paper's queue/stack mix, and keyed↔unkeyed
+// pairs (map/list, map/queue, list/queue) where a token addressed by key
+// on one side travels by position on the other. -elim adds the
+// elimination-backoff layer to the containers that support it.
+//
 //	stress -pair queue/stack -threads 8 -rounds 20 -ops 200000
+//	stress -pair map/queue -elim -threads 8
 package main
 
 import (
@@ -23,12 +30,14 @@ import (
 
 func main() {
 	var (
-		pairName = flag.String("pair", "queue/stack", "queue/queue, stack/stack, queue/stack, map/map, list/queue")
+		pairName = flag.String("pair", "queue/stack",
+			"queue/queue, stack/stack, queue/stack, vstack/vstack, map/map, map/list, map/queue, list/list, list/queue")
 		threads  = flag.Int("threads", 8, "worker threads")
 		tokens   = flag.Int("tokens", 512, "circulating tokens")
 		rounds   = flag.Int("rounds", 10, "audit rounds")
 		ops      = flag.Int("ops", 100_000, "operations per thread per round")
 		moveBias = flag.Int("movebias", 50, "percent of operations that are moves")
+		elim     = flag.Bool("elim", false, "enable the elimination-backoff layer")
 	)
 	flag.Parse()
 
@@ -36,9 +45,10 @@ func main() {
 		MaxThreads:    *threads + 1,
 		ArenaCapacity: 1 << 21,
 		DescCapacity:  1 << 18,
+		Elimination:   repro.EliminationConfig{Enable: *elim},
 	})
 	setup := rt.RegisterThread()
-	a, b, keyed := buildPair(setup, *pairName)
+	a, b, akeyed, bkeyed := buildPair(setup, *pairName)
 	if a == nil {
 		fmt.Fprintf(os.Stderr, "stress: unknown -pair %q\n", *pairName)
 		os.Exit(2)
@@ -75,25 +85,31 @@ func main() {
 					tok := next()%uint64(*tokens) + 1
 					doMove := int(next()%100) < *moveBias
 					src, dst := a, b
+					srcKeyed, dstKeyed := akeyed, bkeyed
 					if next()&1 == 0 {
 						src, dst = b, a
+						srcKeyed, dstKeyed = bkeyed, akeyed
+					}
+					// Keys address tokens only on keyed sides; a
+					// keyed↔unkeyed move scrambles the key→value
+					// association, which the value-conservation audit
+					// tolerates by design.
+					key := func(keyed bool) uint64 {
+						if keyed {
+							return tok
+						}
+						return 0
 					}
 					if doMove {
-						skey, tkey := tok, tok
-						if !keyed {
-							skey, tkey = 0, 0
-						}
-						repro.Move(th, src, dst, skey, tkey)
+						repro.Move(th, src, dst, key(srcKeyed), key(dstKeyed))
 					} else {
-						skey := tok
-						if !keyed {
-							skey = 0
-						}
-						if v, ok := src.Remove(th, skey); ok {
-							// Re-insert; retry into the other container
-							// if the first insert hits a duplicate key.
-							if !src.Insert(th, skey, v) {
-								for !dst.Insert(th, skey, v) {
+						if v, ok := src.Remove(th, key(srcKeyed)); ok {
+							// Re-insert, alternating containers until the
+							// held token lands (a keyed slot may be
+							// transiently occupied by a concurrent move).
+							if !src.Insert(th, key(srcKeyed), v) {
+								for !dst.Insert(th, key(dstKeyed), v) &&
+									!src.Insert(th, key(srcKeyed), v) {
 								}
 							}
 						}
@@ -105,23 +121,25 @@ func main() {
 
 		// Audit: drain and count every token, then reinsert.
 		seen := make(map[uint64]int)
-		for _, c := range []repro.MoveReady{a, b} {
+		drain := func(c repro.MoveReady, keyed bool) {
 			if keyed {
 				for k := uint64(1); k <= uint64(*tokens); k++ {
 					if v, ok := c.Remove(setup, k); ok {
 						seen[v]++
 					}
 				}
-			} else {
-				for {
-					v, ok := c.Remove(setup, 0)
-					if !ok {
-						break
-					}
-					seen[v]++
+				return
+			}
+			for {
+				v, ok := c.Remove(setup, 0)
+				if !ok {
+					break
 				}
+				seen[v]++
 			}
 		}
+		drain(a, akeyed)
+		drain(b, bkeyed)
 		bad := false
 		if len(seen) != *tokens {
 			bad = true
@@ -153,23 +171,32 @@ func main() {
 	fmt.Println("stress: all rounds passed — conservation intact")
 }
 
-// buildPair constructs the requested container pair; keyed reports
-// whether tokens are addressed by key.
-func buildPair(t *core.Thread, name string) (a, b repro.MoveReady, keyed bool) {
+// buildPair constructs the requested container pair; akeyed/bkeyed
+// report whether tokens are addressed by key on each side. Mixed pairs
+// (map/list alongside map/queue and list/queue) give keyed↔unkeyed
+// moves long-lived conservation coverage: the keyed side selects by
+// token, the unkeyed side by position.
+func buildPair(t *core.Thread, name string) (a, b repro.MoveReady, akeyed, bkeyed bool) {
 	switch name {
 	case "queue/queue":
-		return repro.NewQueue(t), repro.NewQueue(t), false
+		return repro.NewQueue(t), repro.NewQueue(t), false, false
 	case "stack/stack":
-		return repro.NewStack(t), repro.NewStack(t), false
+		return repro.NewStack(t), repro.NewStack(t), false, false
 	case "queue/stack":
-		return repro.NewQueue(t), repro.NewStack(t), false
+		return repro.NewQueue(t), repro.NewStack(t), false, false
 	case "vstack/vstack":
-		return repro.NewVersionedStack(t), repro.NewVersionedStack(t), false
+		return repro.NewVersionedStack(t), repro.NewVersionedStack(t), false, false
 	case "map/map":
-		return repro.NewHashMap(t, 64), repro.NewHashMap(t, 64), true
+		return repro.NewHashMap(t, 64), repro.NewHashMap(t, 64), true, true
+	case "map/list":
+		return repro.NewHashMap(t, 64), repro.NewList(t), true, true
+	case "map/queue":
+		return repro.NewHashMap(t, 64), repro.NewQueue(t), true, false
 	case "list/list":
-		return repro.NewList(t), repro.NewList(t), true
+		return repro.NewList(t), repro.NewList(t), true, true
+	case "list/queue":
+		return repro.NewList(t), repro.NewQueue(t), true, false
 	default:
-		return nil, nil, false
+		return nil, nil, false, false
 	}
 }

@@ -25,8 +25,31 @@
 // mid-rebalance an entry is observable in exactly one bucket, never
 // neither. Lookups, removes and moves out of the map never block on a
 // grow; HashMap.RebalanceStep lets callers drive pending migration in
-// bounded increments. Typed facades (QueueOf, StackOf, MapOf) bridge
-// arbitrary Go values onto the uint64 containers through a shared Box.
+// bounded increments; and a Move targeting a mid-grow shard routes its
+// insert to the successor table instead of aborting. Typed facades
+// (QueueOf, StackOf, MapOf) bridge arbitrary Go values onto the uint64
+// containers through a shared Box.
+//
+// # Elimination backoff
+//
+// Config.Elimination switches on a Hendler/Shavit-style contention
+// layer for the stacks and the map's shards: an operation that loses
+// its linearization CAS rendezvouses in a small per-object elimination
+// array, where a push pairs off with a concurrent pop (and a mid-grow
+// map insert with a same-key remove) and the two exchange the value
+// without touching the shared word. The eliminated pair linearizes at
+// the exchange, so histories stay linearizable; hit/miss counters are
+// exposed via the containers' ElimStats methods. Tuning knobs:
+//
+//	rt := repro.NewRuntime(repro.Config{
+//		MaxThreads:  16,
+//		Elimination: repro.EliminationConfig{Enable: true}, // Slots/Spins optional
+//	})
+//
+// Threads inside a Move/MoveN always bypass the array: a move's
+// linearization must go through its DCAS/MCAS descriptor, never a
+// side-channel exchange. The layer pays off only under real hardware
+// parallelism — single-CPU hosts rarely fail a CAS, so nothing parks.
 //
 // Every goroutine that touches these objects must register once with
 // RegisterThread and pass its *Thread to every call; the Thread carries
@@ -36,6 +59,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/elim"
 	"repro/internal/harrislist"
 	"repro/internal/hashmap"
 	"repro/internal/msqueue"
@@ -44,6 +68,10 @@ import (
 
 // Config sizes a Runtime. See core.Config for the field documentation.
 type Config = core.Config
+
+// EliminationConfig tunes the elimination-backoff contention layer; set
+// it as Config.Elimination. See elim.Config for the field documentation.
+type EliminationConfig = elim.Config
 
 // Runtime owns the shared substrate (arena, hazard pointers, memory
 // manager, descriptor pools) for one family of composable objects.

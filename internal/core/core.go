@@ -17,10 +17,12 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/dcas"
+	"repro/internal/elim"
 	"repro/internal/hazard"
 	"repro/internal/mcas"
 	"repro/internal/mm"
 	"repro/internal/word"
+	"repro/internal/xrand"
 )
 
 // Node hazard-pointer slot assignments. Requirement 2 of the
@@ -67,6 +69,15 @@ type Config struct {
 	// RetireThreshold triggers hazard scans of retired nodes. Default
 	// mm.DefaultRetireThreshold.
 	RetireThreshold int
+	// Elimination configures the elimination-backoff contention layer
+	// for the containers that support it (the Treiber stacks and the
+	// hash map's shards): operations that lose their linearization CAS
+	// to contention rendezvous in a per-object elimination array and
+	// pair off insert/remove without touching the shared anchor.
+	// Threads inside a Move/MoveN always bypass the layer — a move's
+	// linearization must go through its DCAS/MCAS descriptor. Disabled
+	// by default.
+	Elimination elim.Config
 }
 
 // Runtime owns the shared substrate for one family of concurrent
@@ -121,6 +132,11 @@ func (rt *Runtime) MCASPool() *mcas.Pool { return rt.mpool }
 // MaxThreads reports the configured registration limit.
 func (rt *Runtime) MaxThreads() int { return rt.cfg.MaxThreads }
 
+// Elimination reports the configured elimination-backoff tuning;
+// containers consult it at construction time to decide whether (and how
+// big) an elimination array to attach.
+func (rt *Runtime) Elimination() elim.Config { return rt.cfg.Elimination }
+
 // NextObjectID hands out stable object identities; the blocking baseline
 // uses them for lock ordering and Move uses them to reject same-object
 // composition early.
@@ -139,6 +155,7 @@ func (rt *Runtime) RegisterThread() *Thread {
 		rt:    rt,
 		cache: rt.mm.NewCache(id),
 		dctx:  dcas.NewCtx(rt.dpool, rt.nodeDom, id, slotHPD, slotMirror1, slotMirror2),
+		Rng:   xrand.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
 	}
 	t.mctx = mcas.NewCtx(rt.mpool, rt.nodeDom, id, slotMCASHPD, slotRDCSSHPD, slotMCASMirrorBase)
 	return t

@@ -42,7 +42,9 @@ type Thread struct {
 	mDepth   int    // entry index the active insert fills
 	mElement uint64 // element threaded through the insert chain
 
-	// Optional per-thread state used by workloads.
+	// Rng is this thread's private random source, seeded from the
+	// thread id at registration. The elimination layer draws slot
+	// choices from it; workloads may reseed or replace it.
 	Rng *xrand.State
 
 	// seq is a private per-thread counter (see Seq).

@@ -1,0 +1,268 @@
+// Package elim implements the elimination-backoff contention layer
+// (Hendler, Shavit & Yerushalmi's elimination array) used by the stack
+// and the hash map's hot shards: an operation that loses its
+// linearization CAS to contention rendezvouses with a complementary
+// concurrent operation and the pair exchanges the element without ever
+// touching the shared anchor word.
+//
+// # Protocol
+//
+// An Array is a small set of cache-line padded rendezvous slots. The
+// insert side ("parker": a stack push, a map insert) publishes its
+// (key, value) in a random slot and spins for a bounded window; the
+// remove side ("taker": a stack pop, a map remove) scans the slots for a
+// waiting entry whose key it can use and claims it with one CAS. A slot
+// cycles through four phases, its state word carrying a monotonically
+// increasing tag so no transition can be victim to ABA:
+//
+//	empty --CAS-->  claim  --store-->  waiting --CAS-->  taken --store--> empty
+//	       parker    (key/val written)          taker            parker
+//
+// The key and value words are written only between the claim CAS and the
+// waiting store, i.e. under exclusive ownership, and takers re-check the
+// state word after reading them, so an observed (key, value) pair always
+// belongs to the parking session whose state the taker CASes.
+//
+// # Linearizability
+//
+// A successful exchange linearizes both operations at the taker's
+// successful CAS: the insert takes effect immediately before the remove,
+// a valid pair for LIFO stacks unconditionally. Keyed containers need an
+// additional absence witness between Peek and Take — see Peek.
+//
+// The layer is orthogonal to the paper's composition machinery and must
+// stay out of its way: a thread with MoveInFlight() never parks nor
+// takes, because a move's linearization must go through its DCAS/MCAS
+// descriptor, never a side-channel exchange. That gate lives in the
+// containers (they know their Thread); this package is mechanism only.
+package elim
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// Slot phases (low two bits of the state word).
+const (
+	phaseEmpty uint64 = iota
+	phaseClaim
+	phaseWaiting
+	phaseTaken
+)
+
+// pack builds a state word from a tag and a phase.
+func pack(tag, phase uint64) uint64 { return tag<<2 | phase }
+
+// phase extracts the phase bits.
+func phase(state uint64) uint64 { return state & 3 }
+
+// tag extracts the session tag.
+func tag(state uint64) uint64 { return state >> 2 }
+
+// Defaults. Slots defaults to about half the registered threads (an
+// exchange needs one thread on each side), Spins to a window long enough
+// to catch a complementary operation that is already running but short
+// enough to stay in the same ballpark as one backoff wait.
+const (
+	DefaultSpins = 1024
+	MaxSlots     = 16
+)
+
+// Config tunes the elimination layer; it rides on core.Config so one
+// runtime knob configures every container built from that runtime.
+type Config struct {
+	// Enable switches elimination on for the containers that support it
+	// (stacks and the hash map's shards).
+	Enable bool
+	// Slots is the rendezvous slot count per array (rounded up to a
+	// power of two, capped at MaxSlots). <= 0 derives it from the
+	// runtime's registered-thread bound.
+	Slots int
+	// Spins is the parker's wait window in spin iterations. <= 0 selects
+	// DefaultSpins.
+	Spins int
+}
+
+// slot is one rendezvous cell, padded to a cache line so concurrent
+// exchanges on different slots don't false-share.
+type slot struct {
+	state atomic.Uint64
+	key   atomic.Uint64
+	val   atomic.Uint64
+	_     [pad.CacheLineSize - 24]byte
+}
+
+// Array is one elimination array. Create with NewArray; share freely
+// between threads.
+type Array struct {
+	slots []slot
+	mask  uint64
+	spins int
+
+	hits   atomic.Uint64
+	_      pad.Pad56
+	misses atomic.Uint64
+	_      pad.Pad56
+}
+
+// ceilPow2 rounds n up to a power of two, minimum 1.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewArray builds an array from cfg. threadsHint (typically the
+// runtime's MaxThreads) sizes the slot count when cfg.Slots is not set:
+// one slot per prospective pair of threads.
+func NewArray(cfg Config, threadsHint int) *Array {
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = threadsHint / 2
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	slots = ceilPow2(slots)
+	if slots > MaxSlots {
+		slots = MaxSlots
+	}
+	spins := cfg.Spins
+	if spins <= 0 {
+		spins = DefaultSpins
+	}
+	return &Array{
+		slots: make([]slot, slots),
+		mask:  uint64(slots - 1),
+		spins: spins,
+	}
+}
+
+// Size reports the slot count.
+func (a *Array) Size() int { return len(a.slots) }
+
+// Stats reports how many operations were eliminated (hits — each
+// successful exchange counts once per side) and how many elimination
+// attempts came back empty-handed (misses).
+func (a *Array) Stats() (hits, misses uint64) {
+	return a.hits.Load(), a.misses.Load()
+}
+
+// Park publishes (key, val) in a slot chosen by start and waits the
+// array's configured window for a taker. It reports whether the value
+// was taken: true means the caller's insert operation is complete
+// (eliminated); false means no exchange happened and the caller must
+// retry its normal path. start is any thread-local random value.
+func (a *Array) Park(start, key, val uint64) bool {
+	return a.ParkFor(start, key, val, a.spins)
+}
+
+// ParkFor is Park with an explicit spin window (tests and tuning).
+func (a *Array) ParkFor(start, key, val uint64, spins int) bool {
+	s := &a.slots[start&a.mask]
+	st := s.state.Load()
+	if phase(st) != phaseEmpty {
+		a.misses.Add(1)
+		return false
+	}
+	next := tag(st) + 1
+	if !s.state.CompareAndSwap(st, pack(next, phaseClaim)) {
+		a.misses.Add(1)
+		return false
+	}
+	// Owned between claim and waiting: publish the offer.
+	s.key.Store(key)
+	s.val.Store(val)
+	waiting := pack(next, phaseWaiting)
+	s.state.Store(waiting)
+	for i := 0; i < spins; i++ {
+		if s.state.Load() != waiting { // only a taker can move it: taken
+			s.state.Store(pack(next+2, phaseEmpty))
+			a.hits.Add(1)
+			return true
+		}
+		if i&15 == 15 {
+			// Keep single-CPU hosts live: the taker needs the processor
+			// to reach its CAS.
+			runtime.Gosched()
+		}
+	}
+	// Window over: withdraw the offer — unless a taker claimed it in the
+	// meantime, in which case the exchange already happened.
+	if s.state.CompareAndSwap(waiting, pack(next+2, phaseEmpty)) {
+		a.misses.Add(1)
+		return false
+	}
+	s.state.Store(pack(next+2, phaseEmpty))
+	a.hits.Add(1)
+	return true
+}
+
+// Handle identifies a parked offer observed by Peek, pinned to its
+// parking session by the state word; Take consumes it.
+type Handle struct {
+	s     *slot
+	state uint64
+	val   uint64
+}
+
+// Val returns the offered value (valid if the subsequent Take succeeds).
+func (h Handle) Val() uint64 { return h.val }
+
+// Peek scans the array (starting at a random slot) for a waiting offer —
+// any offer when anyKey, else one whose key equals key — and returns a
+// handle without consuming it. Keyed containers use the Peek/Take split
+// to interpose an absence witness: the map re-walks its bucket chain
+// between Peek and Take, so the eliminated pair can be linearized at a
+// moment when the key was provably absent and the insert provably
+// parked. A failed Peek counts as a miss.
+func (a *Array) Peek(start, key uint64, anyKey bool) (Handle, bool) {
+	n := len(a.slots)
+	for i := 0; i < n; i++ {
+		s := &a.slots[(start+uint64(i))&a.mask]
+		st := s.state.Load()
+		if phase(st) != phaseWaiting {
+			continue
+		}
+		k := s.key.Load()
+		v := s.val.Load()
+		if s.state.Load() != st {
+			continue // a different session; k/v may be torn
+		}
+		if !anyKey && k != key {
+			continue
+		}
+		return Handle{s: s, state: st, val: v}, true
+	}
+	a.misses.Add(1)
+	return Handle{}, false
+}
+
+// Take consumes a peeked offer: one CAS claims it from the parker. On
+// success the exchange is linearized here (insert immediately before
+// remove) and the offered value is returned.
+func (a *Array) Take(h Handle) (uint64, bool) {
+	if h.s == nil {
+		return 0, false
+	}
+	if h.s.state.CompareAndSwap(h.state, pack(tag(h.state)+1, phaseTaken)) {
+		a.hits.Add(1)
+		return h.val, true
+	}
+	a.misses.Add(1)
+	return 0, false
+}
+
+// TryTake is Peek followed immediately by Take — the unkeyed (stack)
+// consume path, where no absence witness is needed.
+func (a *Array) TryTake(start, key uint64, anyKey bool) (uint64, bool) {
+	h, ok := a.Peek(start, key, anyKey)
+	if !ok {
+		return 0, false
+	}
+	return a.Take(h)
+}

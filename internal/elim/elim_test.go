@@ -1,0 +1,187 @@
+package elim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestSizingAndDefaults(t *testing.T) {
+	a := NewArray(Config{}, 8)
+	if a.Size() != 4 {
+		t.Fatalf("8 threads: %d slots, want 4", a.Size())
+	}
+	if a.spins != DefaultSpins {
+		t.Fatalf("spins=%d", a.spins)
+	}
+	if NewArray(Config{Slots: 3}, 0).Size() != 4 {
+		t.Fatal("slots must round up to a power of two")
+	}
+	if NewArray(Config{Slots: 1024}, 0).Size() != MaxSlots {
+		t.Fatal("slots must cap at MaxSlots")
+	}
+	if NewArray(Config{}, 0).Size() != 1 {
+		t.Fatal("at least one slot")
+	}
+}
+
+// TestExchange pairs one parker with one taker and checks the value and
+// both hit counters.
+func TestExchange(t *testing.T) {
+	a := NewArray(Config{Slots: 1}, 2)
+	taken := make(chan struct{})
+	var parked atomic.Bool
+	go func() {
+		defer close(taken)
+		for !parked.Load() {
+			runtime.Gosched()
+		}
+		for {
+			if v, ok := a.TryTake(7, 0, true); ok {
+				if v != 42 {
+					t.Errorf("took %d, want 42", v)
+				}
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	// A huge window: the taker ends it.
+	parked.Store(true)
+	if !a.ParkFor(3, 0, 42, 1<<30) {
+		t.Fatal("parked offer was never taken")
+	}
+	<-taken
+	hits, _ := a.Stats()
+	if hits != 2 {
+		t.Fatalf("hits=%d, want 2 (one per side)", hits)
+	}
+}
+
+// TestParkTimeout: with no taker the parker withdraws and reports a miss.
+func TestParkTimeout(t *testing.T) {
+	a := NewArray(Config{Slots: 1}, 2)
+	if a.ParkFor(0, 0, 1, 64) {
+		t.Fatal("park with no taker must miss")
+	}
+	if _, m := a.Stats(); m != 1 {
+		t.Fatal("timeout must count a miss")
+	}
+	// The slot must be reusable afterwards.
+	if _, ok := a.TryTake(0, 0, true); ok {
+		t.Fatal("withdrawn offer must not be takeable")
+	}
+}
+
+// TestKeyMatching: keyed takers only consume offers with their key.
+func TestKeyMatching(t *testing.T) {
+	a := NewArray(Config{Slots: 4}, 8)
+	done := make(chan bool)
+	go func() {
+		done <- a.ParkFor(0, 5, 55, 1<<30)
+	}()
+	// Wait until the offer is visible.
+	var h Handle
+	ok := false
+	for !ok {
+		h, ok = a.Peek(0, 5, false)
+		runtime.Gosched()
+	}
+	if _, wrong := a.Peek(0, 6, false); wrong {
+		t.Fatal("peek must not match a different key")
+	}
+	if v, ok := a.Take(h); !ok || v != 55 {
+		t.Fatalf("take: %d %v", v, ok)
+	}
+	if !<-done {
+		t.Fatal("parker must observe the exchange")
+	}
+}
+
+// TestStaleTakeRejected: a handle from an ended session must not take.
+func TestStaleTakeRejected(t *testing.T) {
+	a := NewArray(Config{Slots: 1}, 2)
+	go a.ParkFor(0, 0, 9, 1<<30)
+	var h Handle
+	ok := false
+	for !ok {
+		h, ok = a.Peek(0, 0, true)
+		runtime.Gosched()
+	}
+	if _, ok := a.Take(h); !ok {
+		t.Fatal("first take must win")
+	}
+	// Same handle again: session tag moved on.
+	if _, ok := a.Take(h); ok {
+		t.Fatal("stale take must fail")
+	}
+}
+
+// TestConcurrentExchangeConservation hammers one array from both sides
+// and checks every parked value is either returned to its parker (miss)
+// or taken exactly once — no loss, no duplication.
+func TestConcurrentExchangeConservation(t *testing.T) {
+	const parkers = 4
+	const takers = 4
+	const perParker = 400
+	a := NewArray(Config{Slots: 2, Spins: 256}, parkers+takers)
+
+	var eliminated [parkers * perParker]atomic.Uint32 // taken counts by value
+	var parkerHits atomic.Uint64
+	var stop atomic.Bool
+	var pwg, twg sync.WaitGroup
+
+	for p := 0; p < parkers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			rng := xrand.New(uint64(p) + 1)
+			for i := 0; i < perParker; i++ {
+				v := uint64(p*perParker + i)
+				if a.Park(rng.Uint64(), 0, v) {
+					parkerHits.Add(1)
+					eliminated[v].Add(1 << 16) // high half: parker saw hit
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < takers; c++ {
+		twg.Add(1)
+		go func(c int) {
+			defer twg.Done()
+			rng := xrand.New(uint64(c) + 100)
+			for !stop.Load() {
+				if v, ok := a.TryTake(rng.Uint64(), 0, true); ok {
+					eliminated[v].Add(1) // low half: taken count
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	pwg.Wait()
+	stop.Store(true)
+	twg.Wait()
+
+	var takerSide, parkerSide uint64
+	for i := range eliminated {
+		c := eliminated[i].Load()
+		taken, parked := c&0xffff, c>>16
+		if taken > 1 || parked > 1 || taken != parked {
+			t.Fatalf("value %d: taken %d times, parker hit %d times", i, taken, parked)
+		}
+		takerSide += uint64(taken)
+		parkerSide += uint64(parked)
+	}
+	if parkerSide != parkerHits.Load() {
+		t.Fatalf("parker hits %d vs recorded %d", parkerHits.Load(), parkerSide)
+	}
+	hits, misses := a.Stats()
+	if hits != 2*takerSide {
+		t.Fatalf("hits=%d, want %d (twice the exchanges)", hits, 2*takerSide)
+	}
+	t.Logf("exchanges=%d hits=%d misses=%d", takerSide, hits, misses)
+}

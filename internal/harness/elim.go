@@ -1,0 +1,57 @@
+package harness
+
+// This file adds the elimination-backoff scenario: the §6
+// high-contention stack/stack cell — the configuration the paper's
+// Figure 4 shows collapsing under contention — swept across thread
+// counts with the elimination layer off and on, so the layer's effect
+// (and its hit rate) lands in one comparable table.
+
+// ElimSweepCell pairs the elimination-off and -on runs of one thread
+// count of the sweep.
+type ElimSweepCell struct {
+	Threads int
+	Off, On Result
+}
+
+// HitRate returns the on-run's eliminated fraction of operations
+// (hits / total ops), in [0, 1].
+func (c ElimSweepCell) HitRate() float64 {
+	if c.On.Ops == 0 {
+		return 0
+	}
+	return c.On.ElimHits / float64(c.On.Ops)
+}
+
+// Speedup returns mean(off) / mean(on): > 1 means elimination helped.
+func (c ElimSweepCell) Speedup() float64 {
+	if c.On.Summary.Mean == 0 {
+		return 0
+	}
+	return c.Off.Summary.Mean / c.On.Summary.Mean
+}
+
+// RunElimSweep runs base (conventionally the stack/stack pairing under
+// the high-contention distribution) at every thread count, with
+// elimination off and on, holding everything else fixed. Zero-valued
+// base fields keep the scenario's defaults: stack/stack, lock-free,
+// insert/remove mix, high contention.
+func RunElimSweep(base Options, threads []int) []ElimSweepCell {
+	base.Impl = LockFree
+	if base.Pair == QueueQueue {
+		base.Pair = StackStack
+	}
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4, 8, 16}
+	}
+	cells := make([]ElimSweepCell, 0, len(threads))
+	for _, th := range threads {
+		o := base
+		o.Threads = th
+		o.Elimination = false
+		off := Run(o)
+		o.Elimination = true
+		on := Run(o)
+		cells = append(cells, ElimSweepCell{Threads: th, Off: off, On: on})
+	}
+	return cells
+}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/blocking"
 	"repro/internal/core"
+	"repro/internal/elim"
 	"repro/internal/msqueue"
 	"repro/internal/stats"
 	"repro/internal/tstack"
@@ -145,6 +146,12 @@ type Options struct {
 	// zero selects package backoff defaults, which were chosen the way
 	// the paper tunes its baseline.
 	BackoffStart, BackoffMax uint32
+	// Elimination enables the elimination-backoff contention layer on
+	// the lock-free containers (stacks; ignored by queues and the
+	// blocking baseline). ElimSlots/ElimSpins tune the array (zero
+	// selects package elim defaults).
+	Elimination          bool
+	ElimSlots, ElimSpins int
 	// Prefill inserts this many elements into each object before the
 	// clock starts (the paper does not state its prefill; default 512,
 	// see EXPERIMENTS.md).
@@ -179,7 +186,10 @@ func (o Options) withDefaults() Options {
 func (o Options) Name() string {
 	b := ""
 	if o.Backoff {
-		b = "+backoff"
+		b += "+backoff"
+	}
+	if o.Elimination {
+		b += "+elim"
 	}
 	return fmt.Sprintf("%s/%s/%s%s/work=%s/t=%d", o.Pair, o.Impl, o.Mix, b, o.Contention, o.Threads)
 }
@@ -193,6 +203,9 @@ type Result struct {
 	Summary   stats.Summary
 	// Ops is the per-trial operation count actually issued.
 	Ops int
+	// ElimHits/ElimMisses are per-trial means of the pair's elimination
+	// counters (zero when the layer is off or unsupported).
+	ElimHits, ElimMisses float64
 }
 
 // MeanMS returns the mean adjusted duration in milliseconds.
@@ -207,6 +220,29 @@ type objects struct {
 	removeB func(t *core.Thread) (uint64, bool)
 	moveAB  func(t *core.Thread) bool
 	moveBA  func(t *core.Thread) bool
+	// elimStats sums the pair's elimination counters (nil: none).
+	elimStats func() (hits, misses uint64)
+}
+
+// elimStatser is implemented by containers carrying an elimination
+// array (currently the Treiber stacks and the sharded map).
+type elimStatser interface {
+	ElimStats() (hits, misses uint64)
+}
+
+// sumElimStats aggregates elimination counters over a pair.
+func sumElimStats(a, b core.MoveReady) func() (uint64, uint64) {
+	return func() (uint64, uint64) {
+		var hits, misses uint64
+		for _, o := range []core.MoveReady{a, b} {
+			if es, ok := o.(elimStatser); ok {
+				h, m := es.ElimStats()
+				hits += h
+				misses += m
+			}
+		}
+		return hits, misses
+	}
 }
 
 // build creates the object pair for one trial.
@@ -223,12 +259,13 @@ func build(o Options, setup *core.Thread) objects {
 			a, b = msqueue.New(setup), tstack.New(setup)
 		}
 		return objects{
-			insertA: func(t *core.Thread, v uint64) bool { return a.Insert(t, 0, v) },
-			removeA: func(t *core.Thread) (uint64, bool) { return a.Remove(t, 0) },
-			insertB: func(t *core.Thread, v uint64) bool { return b.Insert(t, 0, v) },
-			removeB: func(t *core.Thread) (uint64, bool) { return b.Remove(t, 0) },
-			moveAB:  func(t *core.Thread) bool { _, ok := t.Move(a, b, 0, 0); return ok },
-			moveBA:  func(t *core.Thread) bool { _, ok := t.Move(b, a, 0, 0); return ok },
+			insertA:   func(t *core.Thread, v uint64) bool { return a.Insert(t, 0, v) },
+			removeA:   func(t *core.Thread) (uint64, bool) { return a.Remove(t, 0) },
+			insertB:   func(t *core.Thread, v uint64) bool { return b.Insert(t, 0, v) },
+			removeB:   func(t *core.Thread) (uint64, bool) { return b.Remove(t, 0) },
+			moveAB:    func(t *core.Thread) bool { _, ok := t.Move(a, b, 0, 0); return ok },
+			moveBA:    func(t *core.Thread) bool { _, ok := t.Move(b, a, 0, 0); return ok },
+			elimStats: sumElimStats(a, b),
 		}
 	default:
 		type blk interface {
@@ -288,14 +325,18 @@ func Run(o Options) Result {
 	Calibrate()
 	res := Result{Options: o, Ops: o.TotalOps}
 	for trial := 0; trial < o.Trials; trial++ {
-		res.SamplesNS = append(res.SamplesNS, runTrial(o, uint64(trial)))
+		ns, hits, misses := runTrial(o, uint64(trial))
+		res.SamplesNS = append(res.SamplesNS, ns)
+		res.ElimHits += float64(hits) / float64(o.Trials)
+		res.ElimMisses += float64(misses) / float64(o.Trials)
 	}
 	res.Summary = stats.Summarize(res.SamplesNS)
 	return res
 }
 
-// runTrial performs one timed run and returns adjusted nanoseconds.
-func runTrial(o Options, trial uint64) float64 {
+// runTrial performs one timed run and returns adjusted nanoseconds plus
+// the trial's elimination counters.
+func runTrial(o Options, trial uint64) (adjNS float64, elimHits, elimMisses uint64) {
 	arenaCap := o.ArenaCapacity
 	if arenaCap == 0 {
 		arenaCap = o.Prefill*4 + o.TotalOps/2 + (1 << 16)
@@ -303,6 +344,11 @@ func runTrial(o Options, trial uint64) float64 {
 	rt := core.NewRuntime(core.Config{
 		MaxThreads:    o.Threads + 1,
 		ArenaCapacity: arenaCap,
+		Elimination: elim.Config{
+			Enable: o.Elimination,
+			Slots:  o.ElimSlots,
+			Spins:  o.ElimSpins,
+		},
 	})
 	setup := rt.RegisterThread()
 	objs := build(o, setup)
@@ -363,7 +409,10 @@ func runTrial(o Options, trial uint64) float64 {
 	if adj < 0 {
 		adj = 0
 	}
-	return adj
+	if objs.elimStats != nil {
+		elimHits, elimMisses = objs.elimStats()
+	}
+	return adj, elimHits, elimMisses
 }
 
 // doOp issues one random operation per the mix.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/elim"
 	"repro/internal/hashmap"
 	"repro/internal/msqueue"
 	"repro/internal/stats"
@@ -40,10 +41,20 @@ type MapOptions struct {
 	// Rebalancer adds a dedicated thread looping RebalanceStep, so
 	// migration work overlaps the measured operations.
 	Rebalancer bool
-	Contention Contention
-	Prefill    int // entries pre-inserted per map
-	Seed       uint64
-	Pin        bool
+	// Zipf draws keys from a zipfian distribution over the key space
+	// instead of uniformly — the skewed cell, where a few hot keys (and
+	// so a few hot shards) absorb most of the churn. ZipfTheta sets the
+	// skew (<= 0: xrand.DefaultZipfTheta).
+	Zipf      bool
+	ZipfTheta float64
+	// Elimination enables the elimination-backoff layer on both maps'
+	// shards; ElimSlots/ElimSpins tune the arrays.
+	Elimination          bool
+	ElimSlots, ElimSpins int
+	Contention           Contention
+	Prefill              int // entries pre-inserted per map
+	Seed                 uint64
+	Pin                  bool
 	// ArenaCapacity overrides the runtime sizing (0 = automatic).
 	ArenaCapacity int
 }
@@ -94,6 +105,9 @@ type MapResult struct {
 	// Grows/Migrated/Steps are per-trial means of the two maps' grow
 	// stats, showing how much rebalancing the measured interval held.
 	Grows, Migrated, Steps float64
+	// ElimHits/ElimMisses are per-trial means of both maps' elimination
+	// counters (zero when the layer is off).
+	ElimHits, ElimMisses float64
 }
 
 // MeanMS returns the mean adjusted duration in milliseconds.
@@ -105,17 +119,25 @@ func RunMapChurn(o MapOptions) MapResult {
 	Calibrate()
 	res := MapResult{Options: o, Ops: o.TotalOps}
 	for trial := 0; trial < o.Trials; trial++ {
-		ns, grows, migrated, steps := runMapTrial(o, uint64(trial))
-		res.SamplesNS = append(res.SamplesNS, ns)
-		res.Grows += grows / float64(o.Trials)
-		res.Migrated += migrated / float64(o.Trials)
-		res.Steps += steps / float64(o.Trials)
+		m := runMapTrial(o, uint64(trial))
+		res.SamplesNS = append(res.SamplesNS, m.adjNS)
+		res.Grows += m.grows / float64(o.Trials)
+		res.Migrated += m.migrated / float64(o.Trials)
+		res.Steps += m.steps / float64(o.Trials)
+		res.ElimHits += m.elimHits / float64(o.Trials)
+		res.ElimMisses += m.elimMisses / float64(o.Trials)
 	}
 	res.Summary = stats.Summarize(res.SamplesNS)
 	return res
 }
 
-func runMapTrial(o MapOptions, trial uint64) (adjNS, grows, migrated, steps float64) {
+// mapTrialResult carries one trial's measurements.
+type mapTrialResult struct {
+	adjNS, grows, migrated, steps float64
+	elimHits, elimMisses          float64
+}
+
+func runMapTrial(o MapOptions, trial uint64) mapTrialResult {
 	arenaCap := o.ArenaCapacity
 	if arenaCap == 0 {
 		arenaCap = o.Prefill*8 + o.TotalOps + (1 << 16)
@@ -123,6 +145,11 @@ func runMapTrial(o MapOptions, trial uint64) (adjNS, grows, migrated, steps floa
 	rt := core.NewRuntime(core.Config{
 		MaxThreads:    o.Threads + 2,
 		ArenaCapacity: arenaCap,
+		Elimination: elim.Config{
+			Enable: o.Elimination,
+			Slots:  o.ElimSlots,
+			Spins:  o.ElimSpins,
+		},
 	})
 	setup := rt.RegisterThread()
 	ma := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
@@ -130,9 +157,22 @@ func runMapTrial(o MapOptions, trial uint64) (adjNS, grows, migrated, steps floa
 	audit := msqueue.New(setup)
 	seedRng := xrand.New(o.Seed + trial*1000003)
 	keys := uint64(o.Keys)
+	// nextKey samples the configured key distribution: uniform, or
+	// zipfian with rank 0 the hottest key (one shared immutable Zipf;
+	// each thread draws through its own rng).
+	var zipf *xrand.Zipf
+	if o.Zipf {
+		zipf = xrand.NewZipf(keys, o.ZipfTheta)
+	}
+	nextKey := func(rng *xrand.State) uint64 {
+		if zipf != nil {
+			return zipf.Next(rng)
+		}
+		return rng.Uint64() % keys
+	}
 	for i := 0; i < o.Prefill; i++ {
-		ma.Insert(setup, seedRng.Uint64()%keys, seedRng.Uint64())
-		mb.Insert(setup, seedRng.Uint64()%keys, seedRng.Uint64())
+		ma.Insert(setup, nextKey(seedRng), seedRng.Uint64())
+		mb.Insert(setup, nextKey(seedRng), seedRng.Uint64())
 	}
 
 	var stop atomic.Bool
@@ -174,7 +214,7 @@ func runMapTrial(o MapOptions, trial uint64) (adjNS, grows, migrated, steps floa
 			start.Wait()
 			t0 := time.Now()
 			for i := 0; i < perThread; i++ {
-				k := rng.Uint64() % keys
+				k := nextKey(rng)
 				src, dst := ma, mb
 				if rng.Uint64()&1 == 0 {
 					src, dst = mb, ma
@@ -231,5 +271,14 @@ func runMapTrial(o MapOptions, trial uint64) (adjNS, grows, migrated, steps floa
 	}
 	ga, miga, sa := ma.Stats()
 	gb, migb, sb := mb.Stats()
-	return adj, float64(ga + gb), float64(miga + migb), float64(sa + sb)
+	eha, ema := ma.ElimStats()
+	ehb, emb := mb.ElimStats()
+	return mapTrialResult{
+		adjNS:      adj,
+		grows:      float64(ga + gb),
+		migrated:   float64(miga + migb),
+		steps:      float64(sa + sb),
+		elimHits:   float64(eha + ehb),
+		elimMisses: float64(ema + emb),
+	}
 }

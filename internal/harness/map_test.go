@@ -34,3 +34,44 @@ func TestRunMapChurnSmoke(t *testing.T) {
 	// shard usually drains it before the rebalancer gets scheduled.
 	t.Logf("grows=%.1f migrated=%.1f rebalance-steps=%.1f", r.Grows, r.Migrated, r.Steps)
 }
+
+// TestRunMapChurnZipfSmoke runs the skewed cell: zipfian keys
+// concentrate churn on a few hot keys (and so hot shards), and the
+// scenario must still measure cleanly.
+func TestRunMapChurnZipfSmoke(t *testing.T) {
+	r := RunMapChurn(MapOptions{
+		Threads:    2,
+		TotalOps:   20000,
+		Trials:     2,
+		Keys:       512,
+		Zipf:       true,
+		Rebalancer: true,
+	})
+	if len(r.SamplesNS) != 2 {
+		t.Fatalf("samples=%d want 2", len(r.SamplesNS))
+	}
+	if r.Summary.Mean <= 0 {
+		t.Fatalf("mean=%v", r.Summary.Mean)
+	}
+	if r.Grows == 0 {
+		t.Fatal("skewed churn never grew the maps")
+	}
+	t.Logf("zipf cell: grows=%.1f migrated=%.1f", r.Grows, r.Migrated)
+}
+
+// TestRunMapChurnElimSmoke: the elimination-enabled cell must run and
+// report its counters (hits need contention luck; misses are certain
+// once any insert parks mid-grow, so only sanity is asserted).
+func TestRunMapChurnElimSmoke(t *testing.T) {
+	r := RunMapChurn(MapOptions{
+		Threads:     2,
+		TotalOps:    20000,
+		Trials:      1,
+		Keys:        256,
+		Elimination: true,
+	})
+	if len(r.SamplesNS) != 1 || r.Summary.Mean <= 0 {
+		t.Fatalf("bad result: %+v", r.Summary)
+	}
+	t.Logf("elim cell: hits=%.1f misses=%.1f", r.ElimHits, r.ElimMisses)
+}

@@ -1,0 +1,104 @@
+package hashmap
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/elim"
+)
+
+// newElimRT builds a runtime with elimination on and a generous parking
+// window (single-CPU hosts need the partner scheduled inside it).
+func newElimRT(threads, spins int) *core.Runtime {
+	return core.NewRuntime(core.Config{
+		MaxThreads:    threads,
+		ArenaCapacity: 1 << 18,
+		DescCapacity:  1 << 14,
+		Elimination:   elim.Config{Enable: true, Slots: 2, Spins: spins},
+	})
+}
+
+// TestElimMapDisabledByDefault: no arrays without the config knob.
+func TestElimMapDisabledByDefault(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	m := NewSharded(th, 2, 2, 0)
+	for i := range m.shards {
+		if m.shards[i].elim != nil {
+			t.Fatal("shard got an elimination array without the knob")
+		}
+	}
+	if h, mi := m.ElimStats(); h != 0 || mi != 0 {
+		t.Fatal("stats must stay zero when disabled")
+	}
+}
+
+// TestElimMapMidGrowExchange: an insert parked on a sealed shard pairs
+// with a remove of the same key; the pair leaves no residue either way
+// (eliminated, or the insert landed for real and the remove took it).
+func TestElimMapMidGrowExchange(t *testing.T) {
+	witnessed := false
+	for attempt := 0; attempt < 5 && !witnessed; attempt++ {
+		rt := newElimRT(3, 1<<22)
+		th := rt.RegisterThread()
+		th2 := rt.RegisterThread()
+		m := NewSharded(th, 1, 2, 1<<30)
+		m.Grow(th) // seal the single shard
+		// Put the table in the parking state: quiescent and with the
+		// drain fully claimed (inserts park only when helping would
+		// just duplicate the verify pass).
+		tab := m.shards[0].cur.Load()
+		tab.quiesceInserts()
+		tab.claim.Store(int64(len(tab.buckets)))
+
+		insDone := make(chan bool)
+		go func() {
+			insDone <- m.Insert(th2, 7, 77)
+		}()
+
+		var v uint64
+		var ok bool
+		for i := 0; i < 1<<24 && !ok; i++ {
+			// A remove of a *different* absent key must never consume
+			// the parked offer.
+			if w, wok := m.Remove(th, 8); wok {
+				t.Fatalf("remove(8) consumed a foreign offer: %d", w)
+			}
+			if v, ok = m.Remove(th, 7); !ok {
+				runtime.Gosched()
+			}
+		}
+		if !ok || v != 77 {
+			t.Fatalf("remove(7): %d %v", v, ok)
+		}
+		if !<-insDone {
+			t.Fatal("insert must report success")
+		}
+		hits, _ := m.ElimStats()
+		witnessed = hits >= 2
+
+		// Whether eliminated or real, the insert/remove pair must leave
+		// no trace once the grow settles.
+		m.Quiesce(th)
+		if _, there := m.Contains(th, 7); there {
+			t.Fatal("pair left a residue entry")
+		}
+		if n := m.Len(th); n != 0 {
+			t.Fatalf("len=%d want 0", n)
+		}
+	}
+	if !witnessed {
+		t.Fatal("no elimination hit in any attempt")
+	}
+}
+
+// TestElimMapRemoveMissWithoutOffer: a plain miss stays a miss.
+func TestElimMapRemoveMissWithoutOffer(t *testing.T) {
+	rt := newElimRT(2, 64)
+	th := rt.RegisterThread()
+	m := NewSharded(th, 1, 2, 1<<30)
+	if _, ok := m.Remove(th, 3); ok {
+		t.Fatal("remove of an absent key with no parked offer must miss")
+	}
+}

@@ -48,8 +48,28 @@
 // The only wait is step 2's insert-quiescence, bounded by the in-flight
 // inserts admitted before the seal. Inserts arriving as the target of a
 // composed Move/MoveN while the shard is mid-grow cannot help (helping
-// would nest a move), so they reject the move: the composition aborts
-// cleanly and the caller may retry.
+// would nest a move); instead of rejecting the composition they wait
+// out the sealed table's insert-quiescence and route the insert to the
+// successor table, which is already part of the lookup chain — the move
+// only aborts if the key is still present in the sealed table (a
+// genuine duplicate) or the chain advances underneath it.
+//
+// # Elimination
+//
+// When the runtime enables elimination (core.Config.Elimination), every
+// shard attaches an elimination array. An insert that finds its shard
+// sealed with the drain already fully claimed — the mid-grow state
+// where helping would only duplicate the verify pass — parks
+// (key, value) there for a bounded window instead of piling onto the
+// grow; a remove that misses the whole table chain of a sealed shard
+// scans the array for an insert parked on the same shard with the same
+// key. Before consuming it, the remove re-walks the chain: the
+// second walk is an absence witness taken strictly inside the window in
+// which the insert was continuously parked (observed waiting before the
+// walk, successfully claimed by CAS after it), so the pair linearizes
+// at the walk — insert of an absent key immediately followed by its
+// remove — a valid map history no matter what concurrent inserts do.
+// Threads inside a Move/MoveN bypass the array on both sides.
 package hashmap
 
 import (
@@ -57,6 +77,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/elim"
 	"repro/internal/harrislist"
 	"repro/internal/pad"
 )
@@ -88,6 +109,7 @@ var _ core.MoveReady = (*Map)(nil)
 type shard struct {
 	cur   atomic.Pointer[table] // oldest undrained table; chain via next
 	count atomic.Int64
+	elim  *elim.Array // per-shard elimination array, nil when disabled
 	_     pad.Line
 }
 
@@ -147,8 +169,14 @@ func NewSharded(t *core.Thread, shards, bucketsPerShard, growLoad int) *Map {
 		ns >>= 1
 	}
 	per := ceilPow2(bucketsPerShard)
+	ecfg := t.Runtime().Elimination()
 	for i := range m.shards {
 		m.shards[i].cur.Store(m.newTable(t, per))
+		if ecfg.Enable {
+			// Per-shard arrays: contention concentrates on hot shards,
+			// and slot scans stay within one shard's keys.
+			m.shards[i].elim = elim.NewArray(ecfg, t.Runtime().MaxThreads())
+		}
 	}
 	return m
 }
@@ -183,9 +211,9 @@ func hash(k uint64) uint64 {
 func (m *Map) shard(h uint64) *shard { return &m.shards[h&m.shardMask] }
 
 // Insert adds (key, val); false when the key exists, or when a
-// surrounding move aborts — including a move targeting a shard that is
-// mid-grow, which Insert rejects rather than blocking inside the
-// composition.
+// surrounding move aborts. A move targeting a mid-grow shard no longer
+// aborts outright: the insert routes to the successor table (see
+// insertRouted), so only a genuine duplicate fails the composition.
 func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
 	h := hash(key)
 	s := m.shard(h)
@@ -193,7 +221,19 @@ func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
 		tab := s.cur.Load()
 		if tab.sealed.Load() {
 			if t.MoveInFlight() {
-				return false // cannot help mid-move; abort the composition
+				ok, retry := m.insertRouted(t, s, tab, h, key, val)
+				if retry {
+					continue
+				}
+				return ok
+			}
+			// Help the grow unless the drain is already fully claimed —
+			// then another helper would only duplicate the verify pass,
+			// so park in the shard's elimination array instead: the
+			// window doubles as backoff, and a concurrent remove of the
+			// same key completes both operations with one CAS.
+			if m.tryElimInsert(t, s, tab, key, val) {
+				return true
 			}
 			m.helpGrow(t, s, tab)
 			continue
@@ -204,11 +244,7 @@ func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
 		tab.ins.Add(1)
 		if tab.sealed.Load() {
 			tab.ins.Add(-1)
-			if t.MoveInFlight() {
-				return false
-			}
-			m.helpGrow(t, s, tab)
-			continue
+			continue // sealed branch above handles both cases
 		}
 		ok := tab.bucket(h, m.shardBits).Insert(t, key, val)
 		tab.ins.Add(-1)
@@ -224,12 +260,55 @@ func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
 	}
 }
 
+// insertRouted is the in-move insert path for a sealed shard (the
+// ROADMAP's "moves targeting a mid-grow shard abort" follow-up).
+// Helping the grow would nest a move, so instead the insert goes to the
+// successor table, which is already part of every reader's chain walk.
+// The protocol mirrors the normal path: wait out the sealed table's
+// insert-quiescence (after which its buckets can only shrink), check
+// the key is not still sitting in the sealed table (that would be a
+// genuine duplicate: abort the move), then announce on the successor
+// and insert there. retry asks the caller to re-read the shard when the
+// chain advanced mid-route.
+func (m *Map) insertRouted(t *core.Thread, s *shard, tab *table, h, key, val uint64) (ok, retry bool) {
+	next := m.ensureNext(t, tab)
+	tab.quiesceInserts()
+	if _, dup := tab.bucket(h, m.shardBits).Contains(t, key); dup {
+		return false, false
+	}
+	next.ins.Add(1)
+	if next.sealed.Load() {
+		// The successor became live and was itself sealed: the sealed
+		// table is fully drained, so restart from the shard's current
+		// table rather than chase the chain.
+		next.ins.Add(-1)
+		return false, true
+	}
+	ok = next.bucket(h, m.shardBits).Insert(t, key, val)
+	next.ins.Add(-1)
+	if ok {
+		s.count.Add(1)
+	}
+	return ok, false
+}
+
 // Remove deletes key and returns its value. It walks the shard's table
 // chain: entries migrate only forward along the chain, so a miss on the
-// final table linearizes as a miss on the whole map.
+// final table linearizes as a miss on the whole map. A miss may still
+// pair off with an insert of the same key parked on the shard's
+// elimination array (see tryElimRemove).
 func (m *Map) Remove(t *core.Thread, key uint64) (uint64, bool) {
 	h := hash(key)
 	s := m.shard(h)
+	if v, ok := m.removeWalk(t, s, h, key); ok {
+		return v, true
+	}
+	return m.tryElimRemove(t, s, h, key)
+}
+
+// removeWalk is the chain walk of Remove, shared with the elimination
+// path's absence re-walk.
+func (m *Map) removeWalk(t *core.Thread, s *shard, h, key uint64) (uint64, bool) {
 	for tab := s.cur.Load(); tab != nil; tab = tab.next.Load() {
 		if v, ok := tab.bucket(h, m.shardBits).Remove(t, key); ok {
 			s.count.Add(-1)
@@ -237,6 +316,66 @@ func (m *Map) Remove(t *core.Thread, key uint64) (uint64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// tryElimInsert parks (key, val) on the shard's elimination array for a
+// bounded window; true means a concurrent remove of the same key took
+// it and the insert is complete. It only parks while the sealed table's
+// drain is fully claimed — the one mid-grow state where helping adds
+// nothing but a duplicate verify pass, i.e. a real contention signal;
+// everywhere else helping the grow is the productive move. Threads
+// inside a move never park: the move's linearization must go through
+// its descriptor.
+func (m *Map) tryElimInsert(t *core.Thread, s *shard, tab *table, key, val uint64) bool {
+	if s.elim == nil || t.MoveInFlight() {
+		return false
+	}
+	if !tab.draining.Load() || tab.claim.Load() < int64(len(tab.buckets)) {
+		return false
+	}
+	return s.elim.Park(t.Rng.Uint64(), key, val)
+}
+
+// tryElimRemove pairs a remove that missed the whole chain with an
+// insert of the same key parked on the shard's array. Soundness: the
+// insert was observed waiting before the re-walk and claimed by CAS
+// after it, so the walk's absence witness falls strictly inside both
+// operations' intervals — the pair linearizes at the walk, insert of an
+// absent key immediately followed by its remove. If the re-walk finds
+// the key after all (a concurrent insert landed), that entry is removed
+// instead and the parked insert is left alone. Threads inside a move
+// never take.
+func (m *Map) tryElimRemove(t *core.Thread, s *shard, h, key uint64) (uint64, bool) {
+	if s.elim == nil || t.MoveInFlight() {
+		return 0, false
+	}
+	// Inserts only park while their shard is mid-grow, so with no seal
+	// in sight the array is empty: skip the scan (and don't let plain
+	// key misses masquerade as elimination misses in the counters).
+	if !s.cur.Load().sealed.Load() {
+		return 0, false
+	}
+	hnd, ok := s.elim.Peek(t.Rng.Uint64(), key, false)
+	if !ok {
+		return 0, false
+	}
+	if v, ok := m.removeWalk(t, s, h, key); ok {
+		return v, true
+	}
+	return s.elim.Take(hnd)
+}
+
+// ElimStats aggregates elimination hits and misses over all shards
+// (zeros when the layer is disabled).
+func (m *Map) ElimStats() (hits, misses uint64) {
+	for i := range m.shards {
+		if a := m.shards[i].elim; a != nil {
+			hi, mi := a.Stats()
+			hits += hi
+			misses += mi
+		}
+	}
+	return hits, misses
 }
 
 // Contains reports presence and value, walking the table chain like

@@ -278,30 +278,51 @@ func TestMoveHashMapQueue(t *testing.T) {
 	}
 }
 
-// TestMoveIntoGrowingShardAborts pins the composition rule for resizes:
-// a move targeting a shard that is mid-grow aborts cleanly (both objects
-// unchanged) instead of blocking inside the composition.
-func TestMoveIntoGrowingShardAborts(t *testing.T) {
+// TestMoveIntoGrowingShardRoutes pins the composition rule for resizes:
+// a move targeting a shard that is mid-grow no longer aborts — the
+// insert routes to the successor table (already on every reader's chain
+// walk), so the move succeeds and the entry is immediately observable.
+// Only a genuine duplicate still aborts the composition.
+func TestMoveIntoGrowingShardRoutes(t *testing.T) {
 	rt := newRT(2)
 	th := rt.RegisterThread()
 	m := NewSharded(th, 1, 2, 1<<30)
+	m.Insert(th, 7, 77)
 	q := msqueue.New(th)
 	q.Enqueue(th, 55)
 	m.Grow(th) // seal without draining: the shard stays mid-grow
-	if _, ok := th.Move(q, m, 0, 5); ok {
-		t.Fatal("move into sealed shard must abort")
+	if v, ok := th.Move(q, m, 0, 5); !ok || v != 55 {
+		t.Fatalf("move into mid-grow shard must route to the successor: %d,%v", v, ok)
+	}
+	if q.Len(th) != 0 {
+		t.Fatal("moved element still in the queue")
+	}
+	if v, ok := m.Contains(th, 5); !ok || v != 55 {
+		t.Fatalf("routed entry not observable mid-grow: %d,%v", v, ok)
+	}
+	// A duplicate key still sitting in the sealed table aborts the move.
+	q.Enqueue(th, 56)
+	if _, ok := th.Move(q, m, 0, 7); ok {
+		t.Fatal("move onto a key still in the sealed table must abort")
 	}
 	if q.Len(th) != 1 {
 		t.Fatal("aborted move changed the queue")
 	}
-	// Completing the migration re-admits inserts and moves.
+	// Completing the migration merges old and routed entries.
 	for m.RebalanceStep(th) {
 	}
-	if v, ok := th.Move(q, m, 0, 5); !ok || v != 55 {
-		t.Fatalf("move after migration: %d,%v", v, ok)
-	}
 	if v, ok := m.Contains(th, 5); !ok || v != 55 {
-		t.Fatalf("entry missing after move: %d,%v", v, ok)
+		t.Fatalf("routed entry lost by migration: %d,%v", v, ok)
+	}
+	if v, ok := m.Contains(th, 7); !ok || v != 77 {
+		t.Fatalf("sealed-table entry lost by migration: %d,%v", v, ok)
+	}
+	if m.Len(th) != 2 {
+		t.Fatalf("len=%d want 2", m.Len(th))
+	}
+	// And moves keep working on the merged table.
+	if v, ok := th.Move(q, m, 0, 9); !ok || v != 56 {
+		t.Fatalf("move after migration: %d,%v", v, ok)
 	}
 }
 

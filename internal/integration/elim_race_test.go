@@ -1,0 +1,139 @@
+package integration
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/elim"
+	"repro/internal/hashmap"
+	"repro/internal/tstack"
+)
+
+// newElimRT builds a runtime with the elimination layer on and a short
+// parking window (the workload supplies its own concurrency; long
+// windows would just slow the race down).
+func newElimRT(threads int) *core.Runtime {
+	return core.NewRuntime(core.Config{
+		MaxThreads:    threads,
+		ArenaCapacity: 1 << 18,
+		DescCapacity:  1 << 14,
+		Elimination:   elim.Config{Enable: true, Slots: 2, Spins: 128},
+	})
+}
+
+// TestElimRacesMovesAndGrows races elimination-enabled stacks and a
+// map against Move, MoveN and shard grows, then audits conservation:
+// every token must exist exactly once. Run under -race this also checks
+// the elimination array's memory accesses; the MoveInFlight bypass is
+// what keeps the DCAS/MCAS descriptors and the side-channel exchange
+// from ever linearizing the same operation twice.
+func TestElimRacesMovesAndGrows(t *testing.T) {
+	const workers = 6
+	const tokens = 96
+	const opsPer = 4000
+	rt := newElimRT(workers + 1)
+	setup := rt.RegisterThread()
+	s1 := tstack.New(setup)
+	s2 := tstack.New(setup)
+	m := hashmap.NewSharded(setup, 2, 2, 4)
+	for i := uint64(1); i <= tokens; i++ {
+		switch i % 3 {
+		case 0:
+			s1.Push(setup, i)
+		case 1:
+			s2.Push(setup, i)
+		default:
+			m.Insert(setup, i, i)
+		}
+	}
+
+	var moves atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		th := rt.RegisterThread()
+		go func(w int, th *core.Thread) {
+			defer wg.Done()
+			rng := uint64(w+1) * 0x9e3779b97f4a7c15
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			dsts := make([]core.Inserter, 1)
+			tkeys := make([]uint64, 1)
+			for i := 0; i < opsPer; i++ {
+				tok := next()%tokens + 1
+				switch next() % 8 {
+				case 0: // stack-to-stack move (DCAS; elimination bypassed)
+					if _, ok := th.Move(s1, s2, 0, 0); ok {
+						moves.Add(1)
+					}
+				case 1:
+					if _, ok := th.Move(s2, s1, 0, 0); ok {
+						moves.Add(1)
+					}
+				case 2: // map-to-stack MoveN (MCAS; may hit a mid-grow shard)
+					dsts[0], tkeys[0] = s1, 0
+					if _, ok := th.MoveN(m, dsts, tok, tkeys); ok {
+						moves.Add(1)
+					}
+				case 3: // stack-to-map move; the map insert may route mid-grow
+					if _, ok := th.Move(s2, m, 0, tok); ok {
+						moves.Add(1)
+					}
+				case 4, 5: // stack churn through the elimination paths
+					if v, ok := s1.Pop(th); ok {
+						for !s1.Push(th, v) {
+						}
+					}
+				default: // map churn: removes may eliminate with parked inserts
+					if v, ok := m.Remove(th, tok); ok {
+						for !m.Insert(th, tok, v) {
+							if s2.Push(th, v) {
+								break
+							}
+						}
+					}
+				}
+				if i%512 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w, th)
+	}
+	wg.Wait()
+
+	// Audit: drain everything; each token exactly once.
+	seen := make(map[uint64]int)
+	for {
+		v, ok := s1.Pop(setup)
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	for {
+		v, ok := s2.Pop(setup)
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	for _, k := range m.Keys(setup) {
+		if v, ok := m.Remove(setup, k); ok {
+			seen[v]++
+		}
+	}
+	if len(seen) != tokens {
+		t.Fatalf("%d distinct tokens, want %d", len(seen), tokens)
+	}
+	for tok, n := range seen {
+		if n != 1 || tok == 0 || tok > tokens {
+			t.Fatalf("token %d seen %d times", tok, n)
+		}
+	}
+	h1, _ := s1.ElimStats()
+	h2, _ := s2.ElimStats()
+	hm, _ := m.ElimStats()
+	t.Logf("moves=%d elim hits: s1=%d s2=%d map=%d", moves.Load(), h1, h2, hm)
+}

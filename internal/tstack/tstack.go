@@ -21,10 +21,21 @@
 // builds that variant: top carries a 22-bit modification counter in the
 // reference's tag field, so a top value never recurs within 4M
 // operations. Ablation A2 measures both effects.
+//
+// When the runtime enables elimination (core.Config.Elimination), each
+// stack attaches a Hendler/Shavit elimination array: a push that loses
+// its top CAS parks its value there for a bounded window, and a pop
+// that loses its CAS (or finds the top empty) scans the array and pairs
+// off with a parked push in one exchange CAS. The eliminated pair
+// linearizes at the exchange — push immediately followed by pop, a
+// valid LIFO history — so the shared top word is never touched. Threads
+// inside a Move/MoveN bypass the array entirely: a move's linearization
+// must go through its DCAS/MCAS descriptor, never a side channel.
 package tstack
 
 import (
 	"repro/internal/core"
+	"repro/internal/elim"
 	"repro/internal/pad"
 	"repro/internal/word"
 )
@@ -39,19 +50,29 @@ type Stack struct {
 	// versioned selects the §7 ABA-counter variant: every successful
 	// push/pop bumps the tag bits of the top reference.
 	versioned bool
+
+	// elim is the elimination array, nil when the runtime disables the
+	// layer.
+	elim *elim.Array
 }
 
 var _ core.MoveReady = (*Stack)(nil)
 
-// New creates an empty stack (the paper's default configuration).
-func New(t *core.Thread) *Stack {
-	return &Stack{id: t.Runtime().NextObjectID()}
+// newStack builds a stack, attaching an elimination array when the
+// runtime's configuration enables the layer.
+func newStack(t *core.Thread, versioned bool) *Stack {
+	s := &Stack{id: t.Runtime().NextObjectID(), versioned: versioned}
+	if cfg := t.Runtime().Elimination(); cfg.Enable {
+		s.elim = elim.NewArray(cfg, t.Runtime().MaxThreads())
+	}
+	return s
 }
 
+// New creates an empty stack (the paper's default configuration).
+func New(t *core.Thread) *Stack { return newStack(t, false) }
+
 // NewVersioned creates an empty stack with the §7 ABA counter on top.
-func NewVersioned(t *core.Thread) *Stack {
-	return &Stack{id: t.Runtime().NextObjectID(), versioned: true}
-}
+func NewVersioned(t *core.Thread) *Stack { return newStack(t, true) }
 
 // ObjectID implements core.MoveReady.
 func (s *Stack) ObjectID() uint64 { return s.id }
@@ -90,6 +111,13 @@ func (s *Stack) Push(t *core.Thread, val uint64) bool {
 			t.BackoffReset()
 			return true // S12
 		}
+		// Top is contended: try to pair off with a concurrent pop in
+		// the elimination array instead of hammering the CAS.
+		if s.tryElimPush(t, val) {
+			t.FreeNodeDirect(ref)
+			t.BackoffReset()
+			return true
+		}
 		t.BackoffWait()
 	}
 }
@@ -100,6 +128,11 @@ func (s *Stack) Pop(t *core.Thread) (val uint64, ok bool) {
 	for { // S14
 		ltop := t.Read(&s.top) // S15
 		if isNil(ltop) {       // S16
+			// An empty top does not preclude a parked concurrent push:
+			// taking it linearizes the pair right here.
+			if v, ok := s.tryElimPop(t); ok {
+				return v, true
+			}
 			return 0, false // S17
 		}
 		t.ProtectNode(core.SlotRem0, ltop) // S18: hp ← ltop
@@ -120,9 +153,52 @@ func (s *Stack) Pop(t *core.Thread) (val uint64, ok bool) {
 			t.ClearNode(core.SlotRem0)
 			return 0, false
 		}
+		// Top is contended: a parked concurrent push serves this pop
+		// without another round on the shared word.
+		if v, ok := s.tryElimPop(t); ok {
+			t.ClearNode(core.SlotRem0)
+			t.BackoffReset()
+			return v, true
+		}
 		t.BackoffWait()
 	}
 }
+
+// tryElimPush parks val in the elimination array for a bounded window
+// and reports whether a concurrent pop took it (the push is then
+// complete). Threads inside a move never park: the move's linearization
+// must go through its descriptor (the FFalse that brought us here came
+// from the DCAS machinery, and retrying the top CAS is the only valid
+// continuation).
+func (s *Stack) tryElimPush(t *core.Thread, val uint64) bool {
+	if s.elim == nil || t.MoveInFlight() {
+		return false
+	}
+	return s.elim.Park(t.Rng.Uint64(), 0, val)
+}
+
+// tryElimPop takes any parked push from the elimination array,
+// linearizing the pair at the exchange. Threads inside a move never
+// take (see tryElimPush).
+func (s *Stack) tryElimPop(t *core.Thread) (uint64, bool) {
+	if s.elim == nil || t.MoveInFlight() {
+		return 0, false
+	}
+	return s.elim.TryTake(t.Rng.Uint64(), 0, true)
+}
+
+// ElimStats reports the stack's elimination hits and misses (zero when
+// the layer is disabled).
+func (s *Stack) ElimStats() (hits, misses uint64) {
+	if s.elim == nil {
+		return 0, 0
+	}
+	return s.elim.Stats()
+}
+
+// ElimArray exposes the elimination array for tests and diagnostics
+// (nil when disabled).
+func (s *Stack) ElimArray() *elim.Array { return s.elim }
 
 // Insert implements core.Inserter (key ignored).
 func (s *Stack) Insert(t *core.Thread, _ uint64, val uint64) bool {
