@@ -11,11 +11,18 @@
 // Beyond the paper's figures, -figure map runs the sharded-map churn +
 // rebalance scenario: keyed operations and cross-map moves (including
 // §8 MoveN fan-outs) over two growing maps, with every grow-time entry
-// relocation performed by MoveN; -keydist zipfian skews its keys. And
-// -figure elim sweeps the §6 high-contention stack/stack cell with the
-// elimination-backoff layer off and on, reporting hit rate and speedup.
-// The -elim flag instead toggles the layer inside the paper figures'
-// lock-free cells (off, on, or both variants per cell).
+// relocation performed by MoveN; -keydist zipfian skews its keys, and a
+// second read-mostly panel (-readfrac percent lookups, default 95)
+// shows the lookup-heavy side of the same maps. -figure elim sweeps the
+// §6 high-contention stack/stack cell with the elimination-backoff
+// layer off and on, reporting hit rate and speedup. The -elim flag
+// instead toggles the layer inside the paper figures' lock-free cells
+// (off, on, or both variants per cell). And -figure batch sweeps the
+// batched move pipeline: the move-only queue/stack cell issued through
+// a MoveBuffer at batch sizes -batchsizes (B=1 is the unbatched
+// baseline), reporting ns/move and the speedup batching buys — an
+// amortization curve, not a semantics change (every batched move stays
+// individually linearizable).
 //
 // -json FILE additionally writes every cell as a machine-readable
 // record (mean/CI plus derived ns/op and ops/s per thread count), the
@@ -138,6 +145,8 @@ func main() {
 		rebalancer = flag.Bool("rebalancer", true, "map scenario: dedicated RebalanceStep thread")
 		keys       = flag.Int("keys", 8192, "map scenario: key-space size")
 		keydist    = flag.String("keydist", "uniform", "map scenario key distribution: uniform, zipfian")
+		readfrac   = flag.Int("readfrac", 95, "map scenario: lookup percent of the read-mostly panel (0 skips it)")
+		batchSizes = flag.String("batchsizes", "1,4,16,64", "batch scenario: comma list of batch sizes (1 = unbatched)")
 	)
 	flag.Parse()
 
@@ -184,12 +193,25 @@ func main() {
 		out.path = *jsonPath
 	}
 
+	bsizes, err := parseInts(*batchSizes)
+	if err != nil {
+		fatal(fmt.Errorf("bad -batchsizes: %w", err))
+	}
+
 	for _, fig := range figs {
 		switch fig {
 		case figureMap:
 			fmt.Printf("==== Sharded map: churn + MoveN rebalance ====\n")
 			for _, cont := range conts {
-				runMapPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys, zipf)
+				runMapPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys, zipf, 0)
+				if *readfrac > 0 {
+					runMapPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys, zipf, *readfrac)
+				}
+			}
+		case figureBatch:
+			fmt.Printf("==== Batched moves: MoveBuffer amortization curve ====\n")
+			for _, cont := range conts {
+				runBatchPanel(out, cont, ths, bsizes, *ops, *trials, *prefill, *pin)
 			}
 		case figureElim:
 			fmt.Printf("==== Elimination backoff: stack/stack under contention ====\n")
@@ -215,8 +237,10 @@ func main() {
 
 // runMapPanel runs the map-churn scenario across thread counts and
 // prints throughput plus how much rebalancing each trial absorbed.
+// readfrac > 0 selects the read-mostly variant: that percent of
+// operations become plain lookups over the same growing maps.
 func runMapPanel(out *sink, cont harness.Contention, ths []int,
-	ops, trials, prefill int, pin, rebalancer bool, keys int, zipf bool) {
+	ops, trials, prefill int, pin, rebalancer bool, keys int, zipf bool, readfrac int) {
 
 	rstr := "no rebalancer"
 	if rebalancer {
@@ -226,13 +250,18 @@ func runMapPanel(out *sink, cont harness.Contention, ths []int,
 	if zipf {
 		dist = "zipfian keys"
 	}
-	fmt.Printf("\n-- keyed churn + cross-map moves, %s contention, %s, %s --\n", cont, rstr, dist)
+	workload := "keyed churn + cross-map moves"
+	if readfrac > 0 {
+		workload = fmt.Sprintf("read-mostly (%d%% lookups)", readfrac)
+	}
+	fmt.Printf("\n-- %s, %s contention, %s, %s --\n", workload, cont, rstr, dist)
 	fmt.Printf("%8s  %14s  %12s  %12s  %10s\n", "threads", "lockfree (ms)", "ops/s", "grows/trial", "migrated")
 	for _, t := range ths {
 		r := harness.RunMapChurn(harness.MapOptions{
 			Threads: t, TotalOps: ops, Trials: trials,
 			Keys: keys, Rebalancer: rebalancer, Zipf: zipf,
-			Contention: cont, Prefill: prefill, Pin: pin,
+			ReadFraction: readfrac,
+			Contention:   cont, Prefill: prefill, Pin: pin,
 		})
 		opsPerSec := float64(ops) / (r.Summary.Mean / 1e9)
 		fmt.Printf("%8d  %9.1f ±%4.1f  %12.0f  %12.1f  %10.1f\n", t,
@@ -241,8 +270,11 @@ func runMapPanel(out *sink, cont harness.Contention, ths []int,
 		// column; the backoff column stays honest (the scenario never
 		// enables backoff).
 		mix := "churn"
+		if readfrac > 0 {
+			mix = fmt.Sprintf("read%d", readfrac)
+		}
 		if rebalancer {
-			mix = "churn+rebalancer"
+			mix += "+rebalancer"
 		}
 		if zipf {
 			mix += "+zipf"
@@ -264,6 +296,76 @@ func runMapPanel(out *sink, cont harness.Contention, ths []int,
 			ElimHits:  r.ElimHits, ElimMisses: r.ElimMisses,
 			Grows: r.Grows, Migrated: r.Migrated,
 		})
+	}
+}
+
+// runBatchPanel sweeps the batched move pipeline over batch sizes and
+// thread counts: queue/stack move traffic in direction runs of B,
+// committed either through one MoveBuffer flush per run or as B
+// independent Move calls over the identical stream. The speedup column
+// is unbatched-mean / batched-mean for the same (threads, B) cell. B=1
+// rows are the degenerate baseline (the two mechanisms coincide).
+func runBatchPanel(out *sink, cont harness.Contention, ths, bsizes []int,
+	ops, trials, prefill int, pin bool) {
+
+	fmt.Printf("\n-- queue/stack direction-run moves through MoveBuffer, %s contention --\n", cont)
+	fmt.Printf("%8s  %6s  %16s  %14s  %10s  %9s\n", "threads", "B", "unbatched (ms)", "batched (ms)", "ns/move", "speedup")
+	for _, t := range ths {
+		for _, bs := range bsizes {
+			base := harness.BatchOptions{
+				Threads: t, TotalOps: ops, Trials: trials, BatchSize: bs,
+				Pair: harness.QueueStack, Contention: cont,
+				Prefill: prefill, Pin: pin,
+			}
+			variants := []bool{true}
+			if bs > 1 {
+				variants = []bool{true, false} // unbatched first, then batched
+			}
+			var un, ba harness.BatchResult
+			for _, unbatched := range variants {
+				o := base
+				o.Unbatched = unbatched
+				r := harness.RunMoveBatch(o)
+				if unbatched {
+					un = r
+				} else {
+					ba = r
+				}
+				mech := "batched"
+				if unbatched {
+					mech = "unbatched"
+				}
+				if out.csv != nil {
+					fmt.Fprintf(out.csv, "batch,queue/stack,%s/B=%d,%s,false,false,lockfree,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+						mech, bs, cont, t, ops, trials,
+						r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
+						r.Summary.Min/1e6, r.Summary.Max/1e6)
+				}
+				out.add(jsonRow{
+					Figure: "batch", Pair: "queue/stack", Mix: fmt.Sprintf("%s/B=%d", mech, bs),
+					Contention: cont.String(), Impl: harness.LockFree.String(),
+					Threads: t, Ops: r.Ops, Trials: len(r.SamplesNS),
+					MeanMS: r.Summary.Mean / 1e6, CI95MS: r.Summary.CI95() / 1e6,
+					MinMS: r.Summary.Min / 1e6, MaxMS: r.Summary.Max / 1e6,
+					NSPerOp:   r.Summary.Mean / float64(r.Ops),
+					OpsPerSec: float64(r.Ops) * 1e9 / r.Summary.Mean,
+				})
+			}
+			if bs <= 1 {
+				fmt.Printf("%8d  %6d  %11.1f ±%4.1f  %14s  %10.1f  %9s\n", t, bs,
+					un.Summary.Mean/1e6, un.Summary.CI95()/1e6, "-",
+					un.Summary.Mean/float64(un.Ops), "-")
+				continue
+			}
+			speedup := 0.0
+			if ba.Summary.Mean > 0 {
+				speedup = un.Summary.Mean / ba.Summary.Mean
+			}
+			fmt.Printf("%8d  %6d  %11.1f ±%4.1f  %9.1f ±%4.1f  %10.1f  %8.2fx\n", t, bs,
+				un.Summary.Mean/1e6, un.Summary.CI95()/1e6,
+				ba.Summary.Mean/1e6, ba.Summary.CI95()/1e6,
+				ba.Summary.Mean/float64(ba.Ops), speedup)
+		}
 	}
 }
 
@@ -348,16 +450,18 @@ func figurePair(fig int) harness.Pair {
 	}
 }
 
-// figureMap and figureElim are the pseudo-figure numbers selecting the
-// map-churn and elimination-sweep scenarios.
+// figureMap, figureElim and figureBatch are the pseudo-figure numbers
+// selecting the map-churn, elimination-sweep and batched-move
+// scenarios.
 const (
-	figureMap  = -1
-	figureElim = -2
+	figureMap   = -1
+	figureElim  = -2
+	figureBatch = -3
 )
 
 func parseFigures(s string) ([]int, error) {
 	if s == "all" {
-		return []int{2, 3, 4, figureMap, figureElim}, nil
+		return []int{2, 3, 4, figureMap, figureElim, figureBatch}, nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -369,10 +473,13 @@ func parseFigures(s string) ([]int, error) {
 		case "elim":
 			out = append(out, figureElim)
 			continue
+		case "batch":
+			out = append(out, figureBatch)
+			continue
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 2 || n > 4 {
-			return nil, fmt.Errorf("bad -figure element %q (want 2, 3, 4, map or elim)", part)
+			return nil, fmt.Errorf("bad -figure element %q (want 2, 3, 4, map, elim or batch)", part)
 		}
 		out = append(out, n)
 	}

@@ -9,8 +9,8 @@ import (
 )
 
 func TestParseFigures(t *testing.T) {
-	if got, err := parseFigures("all"); err != nil || len(got) != 5 ||
-		got[3] != figureMap || got[4] != figureElim {
+	if got, err := parseFigures("all"); err != nil || len(got) != 6 ||
+		got[3] != figureMap || got[4] != figureElim || got[5] != figureBatch {
 		t.Fatalf("all: %v %v", got, err)
 	}
 	if got, err := parseFigures("2,4"); err != nil || len(got) != 2 || got[0] != 2 || got[1] != 4 {
@@ -21,6 +21,9 @@ func TestParseFigures(t *testing.T) {
 	}
 	if got, err := parseFigures("elim"); err != nil || len(got) != 1 || got[0] != figureElim {
 		t.Fatalf("elim: %v %v", got, err)
+	}
+	if got, err := parseFigures("batch"); err != nil || len(got) != 1 || got[0] != figureBatch {
+		t.Fatalf("batch: %v %v", got, err)
 	}
 	for _, bad := range []string{"1", "5", "x", "2,9"} {
 		if _, err := parseFigures(bad); err == nil {
@@ -125,7 +128,8 @@ func TestJSONSinkEndToEnd(t *testing.T) {
 	path := t.TempDir() + "/bench.json"
 	out := &sink{doc: &jsonDoc{HostCPUs: 1}, path: path}
 	runElimPanel(out, harness.NoWork, []int{1, 2}, 20000, 1, 64, false)
-	runMapPanel(out, harness.NoWork, []int{1}, 20000, 1, 64, false, true, 512, true)
+	runMapPanel(out, harness.NoWork, []int{1}, 20000, 1, 64, false, true, 512, true, 0)
+	runBatchPanel(out, harness.NoWork, []int{1}, []int{1, 4}, 20000, 1, 64, false)
 	out.flush()
 
 	b, err := os.ReadFile(path)
@@ -136,9 +140,10 @@ func TestJSONSinkEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(b, &doc); err != nil {
 		t.Fatalf("written JSON does not parse: %v", err)
 	}
-	// 2 thread counts x (off, on) + 1 map row.
-	if len(doc.Rows) != 5 {
-		t.Fatalf("rows=%d want 5", len(doc.Rows))
+	// 2 thread counts x (off, on) + 1 map row + 3 batch rows (B=1
+	// baseline, then B=4 unbatched + batched).
+	if len(doc.Rows) != 8 {
+		t.Fatalf("rows=%d want 8", len(doc.Rows))
 	}
 	sawElimOn := false
 	for _, r := range doc.Rows {
@@ -154,5 +159,9 @@ func TestJSONSinkEndToEnd(t *testing.T) {
 	}
 	if doc.Rows[4].Figure != "map" || doc.Rows[4].Grows == 0 {
 		t.Fatalf("map row did not record grow stats: %+v", doc.Rows[4])
+	}
+	if doc.Rows[5].Figure != "batch" || doc.Rows[5].Mix != "unbatched/B=1" ||
+		doc.Rows[6].Mix != "unbatched/B=4" || doc.Rows[7].Mix != "batched/B=4" {
+		t.Fatalf("batch rows wrong: %+v / %+v / %+v", doc.Rows[5], doc.Rows[6], doc.Rows[7])
 	}
 }

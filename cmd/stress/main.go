@@ -8,36 +8,52 @@
 // non-zero exit code.
 //
 // The rotation covers same-kind pairs (queue/queue, stack/stack,
-// map/map, list/list), the paper's queue/stack mix, and keyed↔unkeyed
+// map/map, list/list), the paper's queue/stack mix, keyed↔unkeyed
 // pairs (map/list, map/queue, list/queue) where a token addressed by key
-// on one side travels by position on the other. -elim adds the
-// elimination-backoff layer to the containers that support it.
+// on one side travels by position on the other, and map/pqueue, where a
+// keyed token on one side surfaces by priority order on the other (all
+// re-inserted tokens share one priority, stressing the uniquifier).
+// -elim adds the elimination-backoff layer to the containers that
+// support it; -rotate cycles through every pairing within one run, one
+// pair per audit round, carrying the tokens from pair to pair.
 //
 //	stress -pair queue/stack -threads 8 -rounds 20 -ops 200000
 //	stress -pair map/queue -elim -threads 8
+//	stress -rotate -threads 8 -rounds 18
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/pqueue"
 )
+
+// allPairs is the -rotate order: same-kind pairs first, then the mixed
+// keyed↔unkeyed ones.
+var allPairs = []string{
+	"queue/queue", "stack/stack", "queue/stack", "vstack/vstack",
+	"map/map", "list/list", "map/list", "map/queue", "list/queue",
+	"map/pqueue",
+}
 
 func main() {
 	var (
 		pairName = flag.String("pair", "queue/stack",
-			"queue/queue, stack/stack, queue/stack, vstack/vstack, map/map, map/list, map/queue, list/list, list/queue")
+			strings.Join(allPairs, ", "))
 		threads  = flag.Int("threads", 8, "worker threads")
 		tokens   = flag.Int("tokens", 512, "circulating tokens")
 		rounds   = flag.Int("rounds", 10, "audit rounds")
 		ops      = flag.Int("ops", 100_000, "operations per thread per round")
 		moveBias = flag.Int("movebias", 50, "percent of operations that are moves")
 		elim     = flag.Bool("elim", false, "enable the elimination-backoff layer")
+		rotate   = flag.Bool("rotate", false, "cycle through all pairs within one run (one pair per round)")
 	)
 	flag.Parse()
 
@@ -48,18 +64,39 @@ func main() {
 		Elimination:   repro.EliminationConfig{Enable: *elim},
 	})
 	setup := rt.RegisterThread()
-	a, b, akeyed, bkeyed := buildPair(setup, *pairName)
+	curPair := *pairName
+	if *rotate {
+		curPair = allPairs[0]
+	}
+	a, b, akeyed, bkeyed := buildPair(setup, curPair)
 	if a == nil {
-		fmt.Fprintf(os.Stderr, "stress: unknown -pair %q\n", *pairName)
+		fmt.Fprintf(os.Stderr, "stress: unknown -pair %q\n", curPair)
 		os.Exit(2)
 	}
 
+	// insertToken seeds tok into c: keyed sides address it by tok,
+	// unkeyed sides get key 0 (for the priority queue that parks every
+	// token at priority 0, the uniquifier-collision stress). A failed
+	// insert here is a harness capacity error (e.g. more tokens than
+	// one priority level's uniquifier space), not a data-structure
+	// violation — abort loudly rather than let the next audit round
+	// report a bogus conservation failure.
+	insertToken := func(c repro.MoveReady, keyed bool, tok uint64) {
+		k := uint64(0)
+		if keyed {
+			k = tok
+		}
+		if !c.Insert(setup, k, tok) {
+			fmt.Fprintf(os.Stderr, "stress: setup cannot place token %d (capacity exceeded? lower -tokens)\n", tok)
+			os.Exit(2)
+		}
+	}
 	for i := 1; i <= *tokens; i++ {
 		tok := uint64(i)
 		if i%2 == 0 {
-			a.Insert(setup, tok, tok)
+			insertToken(a, akeyed, tok)
 		} else {
-			b.Insert(setup, tok, tok)
+			insertToken(b, bkeyed, tok)
 		}
 	}
 
@@ -68,10 +105,16 @@ func main() {
 		workers[i] = rt.RegisterThread()
 	}
 
-	fmt.Printf("stress: pair=%s threads=%d tokens=%d rounds=%d ops/round=%d\n",
-		*pairName, *threads, *tokens, *rounds, *ops)
+	if *rotate {
+		fmt.Printf("stress: rotating %d pairs threads=%d tokens=%d rounds=%d ops/round=%d\n",
+			len(allPairs), *threads, *tokens, *rounds, *ops)
+	} else {
+		fmt.Printf("stress: pair=%s threads=%d tokens=%d rounds=%d ops/round=%d\n",
+			*pairName, *threads, *tokens, *rounds, *ops)
+	}
 
 	for round := 1; round <= *rounds; round++ {
+		roundPair := curPair
 		t0 := time.Now()
 		var wg sync.WaitGroup
 		for w := 0; w < *threads; w++ {
@@ -150,32 +193,41 @@ func main() {
 			}
 		}
 		if bad {
-			fmt.Fprintf(os.Stderr, "stress: ROUND %d FAILED: %d distinct tokens (want %d)\n",
-				round, len(seen), *tokens)
+			fmt.Fprintf(os.Stderr, "stress: ROUND %d (%s) FAILED: %d distinct tokens (want %d)\n",
+				round, roundPair, len(seen), *tokens)
 			os.Exit(1)
 		}
-		// Reinsert for the next round.
+		// Reinsert for the next round — into the next pair when
+		// rotating: every token is drained (a quiescent state), so
+		// handing the population to freshly built containers is a pure
+		// transfer; the emptied pair becomes garbage.
+		if *rotate && round < *rounds {
+			curPair = allPairs[round%len(allPairs)]
+			a, b, akeyed, bkeyed = buildPair(setup, curPair)
+		}
 		i := 0
 		for tok := range seen {
-			tgt := a
+			tgt, keyed := a, akeyed
 			if i%2 == 0 {
-				tgt = b
+				tgt, keyed = b, bkeyed
 			}
-			tgt.Insert(setup, tok, tok)
+			insertToken(tgt, keyed, tok)
 			i++
 		}
 		helps, strays, late := rt.DCASPool().Stats()
-		fmt.Printf("round %2d ok (%6.2fs)  dcas-helps=%d strays=%d late-p2=%d\n",
-			round, time.Since(t0).Seconds(), helps, strays, late)
+		fmt.Printf("round %2d %-12s ok (%6.2fs)  dcas-helps=%d strays=%d late-p2=%d\n",
+			round, roundPair, time.Since(t0).Seconds(), helps, strays, late)
 	}
 	fmt.Println("stress: all rounds passed — conservation intact")
 }
 
 // buildPair constructs the requested container pair; akeyed/bkeyed
 // report whether tokens are addressed by key on each side. Mixed pairs
-// (map/list alongside map/queue and list/queue) give keyed↔unkeyed
-// moves long-lived conservation coverage: the keyed side selects by
-// token, the unkeyed side by position.
+// (map/list alongside map/queue, list/queue and map/pqueue) give
+// keyed↔unkeyed moves long-lived conservation coverage: the keyed side
+// selects by token, the unkeyed side by position — or, for the
+// priority queue, by priority order, with every re-inserted token
+// parked at priority 0 so the uniquifier absorbs the collisions.
 func buildPair(t *core.Thread, name string) (a, b repro.MoveReady, akeyed, bkeyed bool) {
 	switch name {
 	case "queue/queue":
@@ -196,6 +248,8 @@ func buildPair(t *core.Thread, name string) (a, b repro.MoveReady, akeyed, bkeye
 		return repro.NewList(t), repro.NewList(t), true, true
 	case "list/queue":
 		return repro.NewList(t), repro.NewQueue(t), true, false
+	case "map/pqueue":
+		return repro.NewHashMap(t, 64), pqueue.New(t), true, false
 	default:
 		return nil, nil, false, false
 	}

@@ -51,6 +51,25 @@
 // side-channel exchange. The layer pays off only under real hardware
 // parallelism — single-CPU hosts rarely fail a CAS, so nothing parks.
 //
+// # Batched moves
+//
+// NewMoveBatch returns a per-thread MoveBatch: Add buffers up to B
+// pending moves, Flush runs them through one prepare → commit →
+// recycle pipeline. The flush amortizes the fixed costs every Move
+// pays — descriptors come from the thread's recycling pool and return
+// through one shared hazard snapshot per flush (sequence-stamped
+// reuse, no full retire cycle), hazard pointers stay published across
+// the flush and are cleared once at its end, and each move's locate
+// step runs ahead of the commits (failing fast, without a descriptor,
+// when a source was observed empty or a keyed target occupied).
+//
+// A batch is amortization, NOT a transaction: every move in a flush
+// remains its own individually-linearizable operation, committed one
+// after another, and a concurrent observer may see any prefix of a
+// flush applied. A move failing mid-flush rolls nothing back. Callers
+// needing all-or-nothing multi-object semantics want MoveN. Typed
+// containers batch through MoveBatchOf, sharing a Box.
+//
 // Every goroutine that touches these objects must register once with
 // RegisterThread and pass its *Thread to every call; the Thread carries
 // the hazard-pointer slots, memory caches and the move state the paper
@@ -58,6 +77,7 @@
 package repro
 
 import (
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/elim"
 	"repro/internal/harrislist"
@@ -150,3 +170,24 @@ func Move(t *Thread, src Remover, dst Inserter, skey, tkey uint64) (uint64, bool
 func MoveN(t *Thread, src Remover, dsts []Inserter, skey uint64, tkeys []uint64) (uint64, bool) {
 	return t.MoveN(src, dsts, skey, tkeys)
 }
+
+// MoveBatch is the per-thread batched move pipeline: Add buffers moves,
+// Flush runs them through one prepare → commit → recycle pass that
+// amortizes descriptor allocation and hazard publication over the
+// batch. A flush is throughput amortization, NOT a transaction: every
+// buffered move remains its own linearizable operation, and a
+// concurrent observer can see any prefix of a flush applied. See
+// internal/batch for the full semantics.
+type MoveBatch = batch.MoveBuffer
+
+// MoveResult is the per-move outcome of a MoveBatch flush.
+type MoveResult = batch.MoveResult
+
+// NewMoveBatch creates a batched move buffer for t with the default
+// capacity. Like the Thread it wraps, a MoveBatch belongs to one
+// goroutine.
+func NewMoveBatch(t *Thread) *MoveBatch { return batch.New(t, 0) }
+
+// NewMoveBatchSize creates a batched move buffer holding up to capacity
+// moves per flush (<= 0 selects the default).
+func NewMoveBatchSize(t *Thread, capacity int) *MoveBatch { return batch.New(t, capacity) }

@@ -34,11 +34,11 @@ func (t *Thread) MoveN(src Remover, dsts []Inserter, skey uint64, tkeys []uint64
 		panic("core: MoveN needs one target key per target")
 	}
 	for i, d := range dsts {
-		if sameObject(src, d) {
+		if SameObject(src, d) {
 			panic("core: MoveN requires targets distinct from the source")
 		}
 		for j := 0; j < i; j++ {
-			if sameObject(asRemover(dsts[j]), d) {
+			if SameObject(asRemover(dsts[j]), d) {
 				panic("core: MoveN requires pairwise distinct targets")
 			}
 		}
@@ -70,10 +70,13 @@ func asRemover(i Inserter) Remover {
 }
 
 func (t *Thread) recycleMDesc(d *mcas.Desc, ref uint64) {
-	if d.Status() != 0 { // decided → was announced
-		t.mctx.Retire(d, ref)
-	} else {
+	switch {
+	case d.Status() == 0: // never announced
 		t.mctx.FreeDirect(d, ref)
+	case t.batchActive: // flush recycle path (one snapshot per flush)
+		t.mctx.RetireFlush(d, ref)
+	default:
+		t.mctx.Retire(d, ref)
 	}
 }
 

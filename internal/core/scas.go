@@ -133,12 +133,17 @@ func (t *Thread) scasInsertSlow(w *word.Word, old, new, hp uint64) FResult {
 
 // recycleDesc returns a descriptor to the pool by the route its history
 // requires: announced descriptors (decided result) go through hazard
-// retirement; unannounced ones are recycled directly.
+// retirement — or, inside a batch flush, through the flush recycle path
+// that amortizes one hazard snapshot over the whole flush; unannounced
+// ones are recycled directly.
 func (t *Thread) recycleDesc(d *dcas.Desc, ref uint64) {
-	if d.ResDecided() {
-		t.dctx.Retire(d, ref)
-	} else {
+	switch {
+	case !d.ResDecided():
 		t.dctx.FreeDirect(d, ref)
+	case t.batchActive:
+		t.dctx.RetireFlush(d, ref)
+	default:
+		t.dctx.Retire(d, ref)
 	}
 }
 
@@ -153,11 +158,19 @@ func (t *Thread) recycleDesc(d *dcas.Desc, ref uint64) {
 // when the source is empty / has no such key, or when the target cannot
 // accept the element; both objects are then unchanged.
 func (t *Thread) Move(src Remover, dst Inserter, skey, tkey uint64) (uint64, bool) {
+	if SameObject(src, dst) {
+		panic("core: Move requires two distinct objects")
+	}
+	return t.MoveUnchecked(src, dst, skey, tkey)
+}
+
+// MoveUnchecked is Move without the same-object validation: for callers
+// that have already validated the pair — the batch pipeline checks at
+// Add time and memoizes, so B commits over one pair pay for one check.
+// Moving an object into itself through this entry point corrupts it.
+func (t *Thread) MoveUnchecked(src Remover, dst Inserter, skey, tkey uint64) (uint64, bool) {
 	if t.desc != nil || t.mdesc != nil {
 		panic("core: nested Move on one thread")
-	}
-	if sameObject(src, dst) {
-		panic("core: Move requires two distinct objects")
 	}
 	d, ref := t.dctx.Alloc() // M2–M3: fresh descriptor, res = UNDECIDED
 	t.desc, t.descRef = d, ref
@@ -170,8 +183,10 @@ func (t *Thread) Move(src Remover, dst Inserter, skey, tkey uint64) (uint64, boo
 	return val, ok // M8
 }
 
-// sameObject reports whether a and b are the same move-ready object.
-func sameObject(a Remover, b Inserter) bool {
+// SameObject reports whether a and b are the same move-ready object
+// (exported for callers that hoist Move's validation, like the batch
+// pipeline).
+func SameObject(a Remover, b Inserter) bool {
 	am, ok1 := a.(MoveReady)
 	bm, ok2 := b.(MoveReady)
 	if ok1 && ok2 {

@@ -50,6 +50,16 @@ type Thread struct {
 	// seq is a private per-thread counter (see Seq).
 	seq uint64
 
+	// batchActive marks a batch flush in progress (see batch.go): hazard
+	// clears and node retirement are deferred and descriptor retirement
+	// routes through the flush recycle path. batchDirty tracks which
+	// container hazard slots were published during the flush (so
+	// EndBatchFlush clears only those); batchNodes parks nodes retired
+	// during the flush until the hazard slots are cleared.
+	batchActive bool
+	batchDirty  uint32
+	batchNodes  []uint64
+
 	bo        *backoff.Exp
 	boEnabled bool
 }
@@ -75,8 +85,19 @@ func (t *Thread) AllocNode() uint64 { return t.cache.Alloc() }
 func (t *Thread) Node(ref uint64) *arena.Node { return t.rt.arena.Node(ref) }
 
 // RetireNode hands back a node that was unlinked from a shared
-// structure; it is recycled once no hazard pointer covers it.
-func (t *Thread) RetireNode(ref uint64) { t.cache.Retire(ref) }
+// structure; it is recycled once no hazard pointer covers it. Inside a
+// batch flush whose retire list is close to a hazard scan, the
+// hand-off is deferred to EndBatchFlush: retiring after the flush's
+// deferred hazard clears keeps the scan from tripping over the flush's
+// own stale protections (which would park those nodes for another full
+// cycle). With ample headroom the direct hand-off is cheaper.
+func (t *Thread) RetireNode(ref uint64) {
+	if t.batchActive && t.cache.ScanHeadroom() < batchScanGuard {
+		t.batchNodes = append(t.batchNodes, ref)
+		return
+	}
+	t.cache.Retire(ref)
+}
 
 // FreeNodeDirect recycles a node that was never published (aborted
 // inserts: lines Q15–Q17, S8–S10).
@@ -92,17 +113,36 @@ func (t *Thread) FlushMemory() {
 // --- hazard pointers -------------------------------------------------------
 
 // ProtectNode publishes the node referenced by ref in the given slot
-// (SlotIns0..SlotRemAux). Passing ref 0 clears the slot.
+// (SlotIns0..SlotRemAux). Passing ref 0 clears the slot — deferred
+// inside a batch flush (protection is conservative; EndBatchFlush
+// clears once for the whole flush).
 func (t *Thread) ProtectNode(slot int, ref uint64) {
+	if t.batchActive {
+		if ref == 0 {
+			return
+		}
+		t.batchDirty |= 1 << uint(slot)
+	}
 	t.rt.nodeDom.Protect(t.id, slot, word.NodeIndex(ref))
 }
 
-// ClearNode clears a hazard slot.
-func (t *Thread) ClearNode(slot int) { t.rt.nodeDom.Clear(t.id, slot) }
+// ClearNode clears a hazard slot (deferred inside a batch flush).
+func (t *Thread) ClearNode(slot int) {
+	if t.batchActive {
+		return
+	}
+	t.rt.nodeDom.Clear(t.id, slot)
+}
 
 // ClearHazards clears every node hazard slot this thread owns; container
-// operations call it on return so stale protections don't delay reuse.
-func (t *Thread) ClearHazards() { t.rt.nodeDom.ClearAll(t.id) }
+// operations call it on return so stale protections don't delay reuse
+// (deferred inside a batch flush).
+func (t *Thread) ClearHazards() {
+	if t.batchActive {
+		return
+	}
+	t.rt.nodeDom.ClearAll(t.id)
+}
 
 // --- shared-word access ----------------------------------------------------
 

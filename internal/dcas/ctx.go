@@ -11,6 +11,13 @@ const retireScanAt = 64
 // carveBatch is how many fresh descriptor slots a thread carves at once.
 const carveBatch = 64
 
+// flushRecycleAt is the minimum number of flush-parked descriptors that
+// makes EndFlush pay for a hazard snapshot; smaller flushes accumulate
+// across EndFlush calls so the snapshot stays amortized. Sized above
+// the common batch capacities (16) so a mid-size flush still snapshots
+// only every other flush.
+const flushRecycleAt = 24
+
 // Ctx is the per-thread handle for running and helping DCAS operations.
 // Not safe for concurrent use: one per registered thread.
 type Ctx struct {
@@ -25,9 +32,19 @@ type Ctx struct {
 	mirror1 int
 	mirror2 int
 
-	free    []uint64 // FIFO of recyclable slot indexes (owned by this thread)
-	retired []retiredDesc
-	snap    []uint64
+	// free is a FIFO ring of recyclable slot indexes (owned by this
+	// thread): popped at freeHead, pushed at the back, compacted in place
+	// when full so steady-state operation never reallocates.
+	free     []uint64
+	freeHead int
+	retired  []retiredDesc
+	// flushRet parks descriptors retired inside a batch flush
+	// (core.Thread.EndBatchFlush drains it through EndFlush): they were
+	// announced, but one shared hazard snapshot per flush — instead of
+	// one retire cycle per move — decides whether they can be reused
+	// immediately.
+	flushRet []retiredDesc
+	snap     []uint64
 
 	stuck stuckState // diagnostic state for stale-reference detection
 }
@@ -53,27 +70,44 @@ func NewCtx(pool *Pool, nodeDom *hazard.Domain, tid, hpdSlot, mirror1, mirror2 i
 // TID returns the thread id this context was created for.
 func (c *Ctx) TID() int { return c.tid }
 
+// hasFree reports whether the free ring holds a recyclable slot.
+func (c *Ctx) hasFree() bool { return c.freeHead < len(c.free) }
+
+// popFree takes the oldest free slot (FIFO, maximizing reuse distance).
+func (c *Ctx) popFree() uint64 {
+	idx := c.free[c.freeHead]
+	c.freeHead++
+	if c.freeHead == len(c.free) {
+		c.free = c.free[:0]
+		c.freeHead = 0
+	}
+	return idx
+}
+
+// pushFree returns a slot to the ring, compacting consumed head space in
+// place instead of letting append grow the backing array forever.
+func (c *Ctx) pushFree(idx uint64) {
+	if c.freeHead > 0 && len(c.free) == cap(c.free) {
+		n := copy(c.free, c.free[c.freeHead:])
+		c.free = c.free[:n]
+		c.freeHead = 0
+	}
+	c.free = append(c.free, idx)
+}
+
 // Alloc returns a fresh, UNDECIDED descriptor and its unmarked reference
 // (lines M2–M3 of Algorithm 3). Recycled slots come from this thread's
 // own FIFO, maximizing reuse distance.
 func (c *Ctx) Alloc() (*Desc, uint64) {
-	var idx uint64
-	if len(c.free) > 0 {
-		idx = c.free[0]
-		c.free = c.free[1:]
-	} else {
+	if !c.hasFree() {
 		if len(c.retired) > 0 {
 			c.scan()
 		}
-		if len(c.free) > 0 {
-			idx = c.free[0]
-			c.free = c.free[1:]
-		} else {
+		if !c.hasFree() {
 			c.free = c.pool.carve(c.free, carveBatch)
-			idx = c.free[0]
-			c.free = c.free[1:]
 		}
 	}
+	idx := c.popFree()
 	d := c.pool.At(idx)
 	d.seq++
 	ref := word.MakeDesc(word.KindDCAS, idx, d.seq)
@@ -90,7 +124,7 @@ func (c *Ctx) Alloc() (*Desc, uint64) {
 // DCAS). No helper can hold a reference, so it skips the hazard scan.
 func (c *Ctx) FreeDirect(d *Desc, ref uint64) {
 	d.self.Store(0)
-	c.free = append(c.free, word.DescIndex(ref))
+	c.pushFree(word.DescIndex(ref))
 }
 
 // Retire recycles a descriptor that was announced: helpers may still
@@ -152,13 +186,56 @@ func (c *Ctx) scan() {
 			continue
 		}
 		rd.d.self.Store(0)
-		c.free = append(c.free, idx)
+		c.pushFree(idx)
 	}
 	c.retired = kept
 }
 
+// RetireFlush parks an announced descriptor for the batch-flush recycle
+// path: it is scrubbed now (like Retire) but its reuse decision is
+// deferred to EndFlush, which covers the whole flush with one hazard
+// snapshot instead of running a retire cycle per move.
+func (c *Ctx) RetireFlush(d *Desc, ref uint64) {
+	c.scrub(d, ref)
+	c.flushRet = append(c.flushRet, retiredDesc{d: d, ref: ref})
+}
+
+// EndFlush recycles the flush-parked descriptors: one snapshot of the
+// hpd domain, then every descriptor that is unprotected and absent from
+// both of its target words — the same conditions scan proves — goes
+// straight back to the free ring, without waiting for a full retire
+// cycle. Sequence-stamped references keep the early reuse ABA-safe: a
+// helper holding a stale reference fails the descriptor's self check.
+// Descriptors a helper may still reach fall back to the conservative
+// retire cycle. Small flushes accumulate until the snapshot is paid for.
+func (c *Ctx) EndFlush() {
+	if len(c.flushRet) < flushRecycleAt {
+		return
+	}
+	c.snap = c.pool.dom.Snapshot(c.snap)
+	for _, rd := range c.flushRet {
+		idx := word.DescIndex(rd.ref)
+		if hazard.Protected(c.snap, idx+1) ||
+			word.SameDesc(rd.d.Ptr1.Load(), rd.ref) || word.SameDesc(rd.d.Ptr2.Load(), rd.ref) {
+			c.retired = append(c.retired, rd)
+			continue
+		}
+		rd.d.self.Store(0)
+		c.pushFree(idx)
+	}
+	c.flushRet = c.flushRet[:0]
+	if len(c.retired) >= retireScanAt {
+		c.scan()
+	}
+}
+
+// FlushParked reports the flush-parked descriptor count (tests).
+func (c *Ctx) FlushParked() int { return len(c.flushRet) }
+
 // Flush retires everything it can; used at thread shutdown and by tests.
 func (c *Ctx) Flush() {
+	c.retired = append(c.retired, c.flushRet...)
+	c.flushRet = c.flushRet[:0]
 	for prev := -1; len(c.retired) > 0 && len(c.retired) != prev; {
 		prev = len(c.retired)
 		c.scan()

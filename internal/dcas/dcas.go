@@ -105,6 +105,11 @@ func (c *Ctx) dcas(d *Desc, ref uint64, initiator bool) Result {
 	return Success          // D31
 }
 
+// Carved reports how many descriptor slots the pool's bump allocator
+// has handed out; a flat count under sustained load means recycling is
+// keeping up (tests and diagnostics).
+func (p *Pool) Carved() uint64 { return p.next.Load() }
+
 func resultOf(res uint64) Result {
 	if res == resSuccess {
 		return Success

@@ -1,0 +1,227 @@
+package harness
+
+// This file adds the batched-move scenario: move traffic shaped the
+// way batch users produce it — runs of B same-direction moves (a mover
+// draining a work batch from one container into another, direction
+// re-drawn per run) — issued either through the batched pipeline
+// (internal/batch MoveBuffer, one flush per run) or as B independent
+// Move calls over the exact same operation stream (Unbatched). Holding
+// the stream fixed and toggling only the mechanism isolates what the
+// flush amortizes: descriptor churn, hazard publication, retire
+// traffic. Batching amortizes; it does not change semantics: every
+// move in a flush remains individually linearizable.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/msqueue"
+	"repro/internal/stats"
+	"repro/internal/tstack"
+	"repro/internal/xrand"
+)
+
+// BatchOptions configures one cell of the batched-move scenario.
+type BatchOptions struct {
+	Threads  int
+	TotalOps int // moves issued, distributed evenly over threads
+	Trials   int
+	// BatchSize is the direction-run length B: moves come in runs of B
+	// with the same source and target. <= 1 degenerates to per-move
+	// random direction.
+	BatchSize int
+	// Unbatched issues the same operation stream as B independent Move
+	// calls instead of one MoveBuffer flush per run — the baseline the
+	// amortization is measured against. (BatchSize <= 1 is always
+	// unbatched.)
+	Unbatched bool
+	// Pair selects the object pairing, as in Options.
+	Pair       Pair
+	Contention Contention
+	// Prefill inserts this many elements into each object before the
+	// clock starts.
+	Prefill int
+	Seed    uint64
+	Pin     bool
+	// ArenaCapacity overrides the runtime sizing (0 = automatic).
+	ArenaCapacity int
+}
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.TotalOps <= 0 {
+		o.TotalOps = 1_000_000
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.Prefill == 0 {
+		o.Prefill = 512
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	return o
+}
+
+// BatchResult aggregates the trials of one batched-move cell.
+type BatchResult struct {
+	Options   BatchOptions
+	SamplesNS []float64
+	Summary   stats.Summary
+	// Ops is the per-trial move count issued.
+	Ops int
+	// Moved is the per-trial mean of successful moves.
+	Moved float64
+	// FastFails is the per-trial mean of moves failed by the prepare
+	// phase (zero when BatchSize <= 1: the baseline has no prepare).
+	FastFails float64
+}
+
+// MeanMS returns the mean adjusted duration in milliseconds.
+func (r BatchResult) MeanMS() float64 { return r.Summary.Mean / 1e6 }
+
+// RunMoveBatch executes every trial of one batched-move cell.
+func RunMoveBatch(o BatchOptions) BatchResult {
+	o = o.withDefaults()
+	Calibrate()
+	res := BatchResult{Options: o, Ops: o.TotalOps}
+	for trial := 0; trial < o.Trials; trial++ {
+		ns, moved, ff := runBatchTrial(o, uint64(trial))
+		res.SamplesNS = append(res.SamplesNS, ns)
+		res.Moved += float64(moved) / float64(o.Trials)
+		res.FastFails += float64(ff) / float64(o.Trials)
+	}
+	res.Summary = stats.Summarize(res.SamplesNS)
+	return res
+}
+
+func runBatchTrial(o BatchOptions, trial uint64) (adjNS float64, moved, fastFails uint64) {
+	arenaCap := o.ArenaCapacity
+	if arenaCap == 0 {
+		arenaCap = o.Prefill*4 + (1 << 16)
+	}
+	rt := core.NewRuntime(core.Config{
+		MaxThreads:    o.Threads + 1,
+		ArenaCapacity: arenaCap,
+	})
+	setup := rt.RegisterThread()
+	var a, b core.MoveReady
+	switch o.Pair {
+	case QueueQueue:
+		a, b = msqueue.New(setup), msqueue.New(setup)
+	case StackStack:
+		a, b = tstack.New(setup), tstack.New(setup)
+	default:
+		a, b = msqueue.New(setup), tstack.New(setup)
+	}
+	seedRng := xrand.New(o.Seed + trial*1000003)
+	for i := 0; i < o.Prefill; i++ {
+		a.Insert(setup, 0, seedRng.Uint64())
+		b.Insert(setup, 0, seedRng.Uint64())
+	}
+
+	perThread := o.TotalOps / o.Threads
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(o.Threads)
+	elapsed := make([]time.Duration, o.Threads)
+	workNS := make([]float64, o.Threads)
+	movedBy := make([]uint64, o.Threads)
+	ffBy := make([]uint64, o.Threads)
+
+	for w := 0; w < o.Threads; w++ {
+		th := rt.RegisterThread()
+		go func(w int, th *core.Thread) {
+			defer done.Done()
+			if o.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			rng := xrand.New(o.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15 ^ trial)
+			mean := o.Contention.workMean()
+			sd := mean / workStddevFraction
+			batched := o.BatchSize > 1 && !o.Unbatched
+			var buf *batch.MoveBuffer
+			if batched {
+				buf = batch.New(th, o.BatchSize)
+			}
+			runLen := o.BatchSize
+			if runLen < 1 {
+				runLen = 1
+			}
+			var work float64
+			var ok uint64
+			start.Wait()
+			t0 := time.Now()
+			for i := 0; i < perThread; {
+				// One direction run of up to B moves: the same stream
+				// whether it commits through a flush or move by move.
+				run := runLen
+				if rest := perThread - i; run > rest {
+					run = rest
+				}
+				src, dst := a, b
+				if rng.Uint64()&1 == 0 {
+					src, dst = b, a
+				}
+				if batched {
+					for j := 0; j < run; j++ {
+						buf.Add(src, dst, 0, 0)
+					}
+					for _, r := range buf.Flush() {
+						if r.OK {
+							ok++
+						}
+					}
+				} else {
+					for j := 0; j < run; j++ {
+						if _, did := th.Move(src, dst, 0, 0); did {
+							ok++
+						}
+					}
+				}
+				i += run
+				if mean > 0 {
+					for j := 0; j < run; j++ {
+						w := rng.NormDuration(mean, sd)
+						SpinFor(w)
+						work += w
+					}
+				}
+			}
+			if buf != nil {
+				_, _, ffBy[w] = buf.Stats()
+			}
+			elapsed[w] = time.Since(t0)
+			workNS[w] = work
+			movedBy[w] = ok
+		}(w, th)
+	}
+	start.Done()
+	done.Wait()
+
+	var wall time.Duration
+	var totalWork float64
+	for w := 0; w < o.Threads; w++ {
+		if elapsed[w] > wall {
+			wall = elapsed[w]
+		}
+		totalWork += workNS[w]
+		moved += movedBy[w]
+		fastFails += ffBy[w]
+	}
+	adj := float64(wall.Nanoseconds()) - totalWork/float64(o.Threads)
+	if adj < 0 {
+		adj = 0
+	}
+	return adj, moved, fastFails
+}

@@ -38,6 +38,11 @@ type MapOptions struct {
 	// those are MoveN fan-outs into the other map plus the audit queue.
 	// The remainder splits evenly between insert, remove and lookup.
 	MovePercent, FanPercent int
+	// ReadFraction makes this the read-mostly cell: that percent of
+	// operations become plain lookups before the move/churn split is
+	// consulted (e.g. 95 gives the classic 95/5 lookup-heavy mix). 0
+	// keeps the pure churn cell.
+	ReadFraction int
 	// Rebalancer adds a dedicated thread looping RebalanceStep, so
 	// migration work overlaps the measured operations.
 	Rebalancer bool
@@ -220,6 +225,8 @@ func runMapTrial(o MapOptions, trial uint64) mapTrialResult {
 					src, dst = mb, ma
 				}
 				switch {
+				case o.ReadFraction > 0 && int(rng.Uint64()%100) < o.ReadFraction:
+					src.Contains(th, k)
 				case int(rng.Uint64()%100) < o.MovePercent:
 					if int(rng.Uint64()%100) < o.FanPercent {
 						// §8 fan-out: the entry leaves src and appears in

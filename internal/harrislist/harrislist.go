@@ -23,6 +23,8 @@
 package harrislist
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/pad"
 	"repro/internal/word"
@@ -34,6 +36,13 @@ type List struct {
 	head word.Word
 	_    pad.Pad56
 	id   uint64
+
+	// retries counts failed linearization CASes (an insert or remove
+	// losing its scas to a concurrent writer) — the cheap contention
+	// signal consumers like the hash map's shards aggregate. Written
+	// only on the contention path, so the uncontended fast path never
+	// touches it.
+	retries atomic.Uint64
 }
 
 var _ core.MoveReady = (*List)(nil)
@@ -146,6 +155,7 @@ func (l *List) Insert(t *core.Thread, key, val uint64) bool {
 			t.BackoffReset()
 			return true
 		}
+		l.retries.Add(1)
 		t.BackoffWait()
 	}
 }
@@ -178,6 +188,7 @@ func (l *List) Remove(t *core.Thread, key uint64) (uint64, bool) {
 		if res == core.FAbort {
 			return 0, false
 		}
+		l.retries.Add(1)
 		t.BackoffWait()
 	}
 }
@@ -210,6 +221,7 @@ func (l *List) RemoveMin(t *core.Thread) (key, val uint64, ok bool) {
 		if res == core.FAbort {
 			return 0, 0, false
 		}
+		l.retries.Add(1)
 		t.BackoffWait()
 	}
 }
@@ -243,6 +255,24 @@ func (l *List) Contains(t *core.Thread, key uint64) (uint64, bool) {
 	return t.Node(r.cur).Val, true
 }
 
+// PrepareRemove implements core.RemovePreparer for the batched move
+// pipeline: Contains' miss is a linearizable absence observation (a
+// failed batched move may linearize at it), and a hit warms the
+// traversal path — and unlinks marked nodes along it — for the commit.
+func (l *List) PrepareRemove(t *core.Thread, key uint64) bool {
+	_, ok := l.Contains(t, key)
+	return ok
+}
+
+// PrepareInsert implements core.InsertPreparer: a hit means the insert
+// would fail on the duplicate key (during a move: abort the
+// composition), so the batched move can fail fast, linearizing at the
+// observation of the occupied key.
+func (l *List) PrepareInsert(t *core.Thread, key uint64) bool {
+	_, dup := l.Contains(t, key)
+	return !dup
+}
+
 // Len counts elements (quiescent use; skips marked nodes).
 func (l *List) Len(t *core.Thread) int {
 	n := 0
@@ -271,6 +301,11 @@ func (l *List) Keys(t *core.Thread) []uint64 {
 	}
 	return out
 }
+
+// Retries reports how many linearization CASes this list has lost to
+// concurrent writers — a monotone contention signal (zero on an
+// uncontended list).
+func (l *List) Retries() uint64 { return l.retries.Load() }
 
 // HeadWord exposes the head anchor for structural verification (package
 // verify) and diagnostics; not part of the normal API.

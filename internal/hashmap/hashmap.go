@@ -365,6 +365,29 @@ func (m *Map) tryElimRemove(t *core.Thread, s *shard, h, key uint64) (uint64, bo
 	return s.elim.Take(hnd)
 }
 
+// ContentionStats reports each shard's accumulated CAS-retry count:
+// the sum, over the shard's live table chain, of every bucket list's
+// lost linearization CASes (harrislist.Retries). It is the cheap
+// signal an adaptive elimination layer needs to find hot unsealed
+// shards — a shard whose counter climbs between two samples is being
+// fought over right now. Counters ride on the buckets, so entries
+// migrated by a grow start fresh in the successor table and counts
+// from fully drained tables age out with them: treat deltas, not
+// absolutes, as the signal.
+func (m *Map) ContentionStats() []uint64 {
+	out := make([]uint64, len(m.shards))
+	for i := range m.shards {
+		var n uint64
+		for tab := m.shards[i].cur.Load(); tab != nil; tab = tab.next.Load() {
+			for _, b := range tab.buckets {
+				n += b.Retries()
+			}
+		}
+		out[i] = n
+	}
+	return out
+}
+
 // ElimStats aggregates elimination hits and misses over all shards
 // (zeros when the layer is disabled).
 func (m *Map) ElimStats() (hits, misses uint64) {
@@ -376,6 +399,23 @@ func (m *Map) ElimStats() (hits, misses uint64) {
 		}
 	}
 	return hits, misses
+}
+
+// PrepareRemove implements core.RemovePreparer for the batched move
+// pipeline: a chain-walk miss is a linearizable absence observation (a
+// failed batched move may linearize at it); a hit warms the shard's
+// bucket path for the commit.
+func (m *Map) PrepareRemove(t *core.Thread, key uint64) bool {
+	_, ok := m.Contains(t, key)
+	return ok
+}
+
+// PrepareInsert implements core.InsertPreparer: an occupied key would
+// fail the insert (during a move: abort the composition), so the
+// batched move can fail fast at the observation.
+func (m *Map) PrepareInsert(t *core.Thread, key uint64) bool {
+	_, dup := m.Contains(t, key)
+	return !dup
 }
 
 // Contains reports presence and value, walking the table chain like

@@ -1,0 +1,131 @@
+package integration
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/msqueue"
+	"repro/internal/pqueue"
+)
+
+// TestPQueueMoveNFanOutEqualPriority exercises the priority queue as a
+// §8 MoveN source under its own worst case: one RemoveMin feeding two
+// destinations atomically while concurrent inserts land at the same
+// priority (forcing the uniquifier-suffix collision path). The fan-out
+// must stay all-or-nothing — each moved value appears in both
+// destination queues exactly once — and nothing may be lost or
+// duplicated between the priority queue and the fan-out queues.
+func TestPQueueMoveNFanOutEqualPriority(t *testing.T) {
+	// Sized for signal, not volume: equal-priority MoveN fan-outs
+	// conflict on both destination tails and the shared minimum, so
+	// every move already races hard; more ops only add wall time.
+	const (
+		movers    = 2
+		inserters = 2
+		moves     = 250
+		inserts   = 400
+		prio      = 5 // everyone fights over one priority level
+	)
+	rt := newRT(movers + inserters + 1)
+	setup := rt.RegisterThread()
+	pq := pqueue.New(setup)
+	q1 := msqueue.New(setup)
+	q2 := msqueue.New(setup)
+
+	// Values are globally unique so the audit can track every element;
+	// priorities are all equal.
+	var nextVal uint64 = 1
+	seed := 128
+	for i := 0; i < seed; i++ {
+		if !pq.Insert(setup, prio, nextVal) {
+			t.Fatal("seed insert failed")
+		}
+		nextVal++
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < movers; w++ {
+		th := rt.RegisterThread()
+		wg.Add(1)
+		go func(th *core.Thread) {
+			defer wg.Done()
+			dsts := []core.Inserter{q1, q2}
+			tkeys := []uint64{0, 0}
+			for i := 0; i < moves; i++ {
+				th.MoveN(pq, dsts, 0, tkeys)
+			}
+		}(th)
+	}
+	valBase := nextVal + 1000000 // inserter values: disjoint unique range
+	for w := 0; w < inserters; w++ {
+		th := rt.RegisterThread()
+		base := valBase + uint64(w)*inserts
+		wg.Add(1)
+		go func(th *core.Thread, base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < inserts; i++ {
+				if !pq.Insert(th, prio, base+i) {
+					t.Error("equal-priority insert failed outside a move")
+					return
+				}
+			}
+		}(th, base)
+	}
+	wg.Wait()
+
+	// Audit. Every value that left the priority queue must be in both
+	// fan-out queues exactly once; every value still in the priority
+	// queue must be in neither; nothing else may exist.
+	inQ1 := make(map[uint64]int)
+	inQ2 := make(map[uint64]int)
+	for {
+		v, ok := q1.Dequeue(setup)
+		if !ok {
+			break
+		}
+		inQ1[v]++
+	}
+	for {
+		v, ok := q2.Dequeue(setup)
+		if !ok {
+			break
+		}
+		inQ2[v]++
+	}
+	if len(inQ1) != len(inQ2) {
+		t.Fatalf("fan-out split: q1 holds %d values, q2 holds %d", len(inQ1), len(inQ2))
+	}
+	for v, n := range inQ1 {
+		if n != 1 || inQ2[v] != 1 {
+			t.Fatalf("value %d: q1=%d q2=%d, want exactly one in each", v, n, inQ2[v])
+		}
+	}
+	remaining := make(map[uint64]int)
+	for {
+		p, v, ok := pq.RemoveMin(setup)
+		if !ok {
+			break
+		}
+		if p != prio {
+			t.Fatalf("value %d drained at priority %d, want %d", v, p, prio)
+		}
+		if inQ1[v] != 0 {
+			t.Fatalf("value %d both fanned out and still in the priority queue", v)
+		}
+		remaining[v]++
+	}
+	for v, n := range remaining {
+		if n != 1 {
+			t.Fatalf("value %d present %d times in the priority queue", v, n)
+		}
+	}
+	total := len(inQ1) + len(remaining)
+	want := seed + movers*0 + inserters*inserts // seeds + inserted (moves conserve)
+	if total != want {
+		t.Fatalf("conservation violated: %d values accounted for, want %d", total, want)
+	}
+	if len(inQ1) == 0 {
+		t.Fatal("no MoveN fan-out ever succeeded; the race never happened")
+	}
+}

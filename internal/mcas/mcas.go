@@ -112,6 +112,10 @@ func (p *Pool) At(idx uint64) *Desc {
 // Helps reports the number of helper entries (tests, §7-style metrics).
 func (p *Pool) Helps() uint64 { return p.helps.Load() }
 
+// Carved reports how many descriptor slots the bump allocator has
+// handed out (tests and diagnostics).
+func (p *Pool) Carved() uint64 { return p.next.Load() }
+
 func (p *Pool) carve(dst []uint64, n int) []uint64 {
 	start := p.next.Add(uint64(n)) - uint64(n)
 	end := start + uint64(n)
@@ -173,12 +177,30 @@ type Ctx struct {
 	rdcssSlot  int // descriptor-domain slot used when completing foreign RDCSS
 	mirrorBase int // first node-domain mirror slot (MaxEntries consecutive)
 
-	free    []uint64
-	retired []retiredDesc
-	snap    []uint64
+	// free is a FIFO ring of recyclable slot indexes: popped at freeHead,
+	// pushed at the back, compacted in place when full (allocation-free
+	// in steady state).
+	free     []uint64
+	freeHead int
+	retired  []retiredDesc
+	// flushRet parks descriptors retired inside a batch flush; EndFlush
+	// recycles them under one shared hazard snapshot (see the dcas
+	// package's flush path — this is its MCAS twin).
+	flushRet []retiredDesc
+	snap     []uint64
 
 	foreign ForeignHelp
 }
+
+// flushRecycleAt is the minimum number of flush-parked descriptors that
+// makes EndFlush pay for a hazard snapshot (lower than the dcas twin's:
+// MoveN traffic is far sparser than Move traffic, so waiting for a
+// dcas-sized pile would park descriptors for a long time).
+const flushRecycleAt = 8
+
+// retireScanAt is the retired-descriptor count that triggers a scan
+// (kept in step with the dcas twin).
+const retireScanAt = 64
 
 type retiredDesc struct {
 	d   *Desc
@@ -197,23 +219,43 @@ func NewCtx(pool *Pool, nodeDom *hazard.Domain, tid, hpdSlot, rdcssSlot, mirrorB
 	}
 }
 
+// hasFree reports whether the free ring holds a recyclable slot.
+func (c *Ctx) hasFree() bool { return c.freeHead < len(c.free) }
+
+// popFree takes the oldest free slot (FIFO).
+func (c *Ctx) popFree() uint64 {
+	idx := c.free[c.freeHead]
+	c.freeHead++
+	if c.freeHead == len(c.free) {
+		c.free = c.free[:0]
+		c.freeHead = 0
+	}
+	return idx
+}
+
+// pushFree returns a slot to the ring, compacting consumed head space in
+// place instead of letting append grow the backing array forever.
+func (c *Ctx) pushFree(idx uint64) {
+	if c.freeHead > 0 && len(c.free) == cap(c.free) {
+		n := copy(c.free, c.free[c.freeHead:])
+		c.free = c.free[:n]
+		c.freeHead = 0
+	}
+	c.free = append(c.free, idx)
+}
+
 // Alloc returns a fresh descriptor with status UNDECIDED and its
 // reference.
 func (c *Ctx) Alloc() (*Desc, uint64) {
-	var idx uint64
-	if len(c.free) > 0 {
-		idx = c.free[0]
-		c.free = c.free[1:]
-	} else {
+	if !c.hasFree() {
 		if len(c.retired) > 0 {
 			c.scan()
 		}
-		if len(c.free) == 0 {
+		if !c.hasFree() {
 			c.free = c.pool.carve(c.free, 16)
 		}
-		idx = c.free[0]
-		c.free = c.free[1:]
 	}
+	idx := c.popFree()
 	d := c.pool.At(idx)
 	d.seq++
 	ref := word.MakeDesc(word.KindMCAS, idx, d.seq)
@@ -226,14 +268,14 @@ func (c *Ctx) Alloc() (*Desc, uint64) {
 // FreeDirect recycles a descriptor that was never published.
 func (c *Ctx) FreeDirect(d *Desc, ref uint64) {
 	d.self.Store(0)
-	c.free = append(c.free, word.DescIndex(ref))
+	c.pushFree(word.DescIndex(ref))
 }
 
 // Retire recycles a published descriptor through scrub + hazard scan.
 func (c *Ctx) Retire(d *Desc, ref uint64) {
 	c.scrub(d, ref)
 	c.retired = append(c.retired, retiredDesc{d: d, ref: ref})
-	if len(c.retired) >= 64 {
+	if len(c.retired) >= retireScanAt {
 		c.scan()
 	}
 }
@@ -287,13 +329,64 @@ func (c *Ctx) scan() {
 			continue
 		}
 		rd.d.self.Store(0)
-		c.free = append(c.free, idx)
+		c.pushFree(idx)
 	}
 	c.retired = kept
 }
 
+// RetireFlush parks a published descriptor for the batch-flush recycle
+// path: scrubbed now, reuse decided by EndFlush under one shared hazard
+// snapshot.
+func (c *Ctx) RetireFlush(d *Desc, ref uint64) {
+	c.scrub(d, ref)
+	c.flushRet = append(c.flushRet, retiredDesc{d: d, ref: ref})
+}
+
+// EndFlush recycles the flush-parked descriptors with one hazard
+// snapshot, applying the same unprotected-and-absent conditions scan
+// proves; descriptors a helper may still reach fall back to the
+// conservative retire cycle. Sequence-stamped references keep the early
+// reuse ABA-safe.
+func (c *Ctx) EndFlush() {
+	if len(c.flushRet) < flushRecycleAt {
+		return
+	}
+	c.snap = c.pool.dom.Snapshot(c.snap)
+	for _, rd := range c.flushRet {
+		idx := word.DescIndex(rd.ref)
+		if hazard.Protected(c.snap, idx+1) || c.residue(rd) {
+			c.retired = append(c.retired, rd)
+			continue
+		}
+		rd.d.self.Store(0)
+		c.pushFree(idx)
+	}
+	c.flushRet = c.flushRet[:0]
+	if len(c.retired) >= retireScanAt {
+		c.scan()
+	}
+}
+
+// residue reports whether any target word still references rd (in MCAS
+// or RDCSS form).
+func (c *Ctx) residue(rd retiredDesc) bool {
+	idx := word.DescIndex(rd.ref)
+	for i := 0; i < rd.d.N; i++ {
+		v := rd.d.Entries[i].Ptr.Load()
+		if word.IsDesc(v) && word.DescIndex(v) == idx && word.DescSeq(v) == word.DescSeq(rd.ref) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushParked reports the flush-parked descriptor count (tests).
+func (c *Ctx) FlushParked() int { return len(c.flushRet) }
+
 // Flush drains the retired list as far as possible (shutdown, tests).
 func (c *Ctx) Flush() {
+	c.retired = append(c.retired, c.flushRet...)
+	c.flushRet = c.flushRet[:0]
 	for prev := -1; len(c.retired) > 0 && len(c.retired) != prev; {
 		prev = len(c.retired)
 		c.scan()
