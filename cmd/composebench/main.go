@@ -11,18 +11,29 @@
 // Beyond the paper's figures, -figure map runs the sharded-map churn +
 // rebalance scenario: keyed operations and cross-map moves (including
 // §8 MoveN fan-outs) over two growing maps, with every grow-time entry
-// relocation performed by MoveN; -keydist zipfian skews its keys, and a
-// second read-mostly panel (-readfrac percent lookups, default 95)
-// shows the lookup-heavy side of the same maps. -figure elim sweeps the
-// §6 high-contention stack/stack cell with the elimination-backoff
-// layer off and on, reporting hit rate and speedup. The -elim flag
-// instead toggles the layer inside the paper figures' lock-free cells
-// (off, on, or both variants per cell). And -figure batch sweeps the
-// batched move pipeline: the move-only queue/stack cell issued through
-// a MoveBuffer at batch sizes -batchsizes (B=1 is the unbatched
-// baseline), reporting ns/move and the speedup batching buys — an
-// amortization curve, not a semantics change (every batched move stays
-// individually linearizable).
+// relocation performed by MoveN, comparing the lock-free maps against
+// the lock-striped blocking baseline (blocking.Map) — the keyed
+// extension of Figures 2–4's lockfree-vs-blocking comparison; -keydist
+// zipfian skews its keys, and a second read-mostly panel (-readfrac
+// percent lookups, default 95) shows the lookup-heavy side of the same
+// maps. -figure elim sweeps the §6 high-contention stack/stack cell
+// with the elimination-backoff layer off and on, reporting hit rate
+// and speedup. The -elim flag instead toggles the layer inside the
+// paper figures' lock-free cells (off, on, or both variants per cell).
+// -figure batch sweeps the batched move pipeline: the move-only
+// queue/stack cell issued through a MoveBuffer at batch sizes
+// -batchsizes (B=1 is the unbatched baseline), reporting ns/move and
+// the speedup batching buys — an amortization curve, not a semantics
+// change (every batched move stays individually linearizable).
+//
+// -figure adapt sweeps the adaptive contention-management subsystem:
+// the zipfian map-churn cell with core.Config.Adaptive off and on,
+// reporting the controllers' decisions (epochs sampled, window
+// resizes, hot-shard attaches, pacing raises) next to the speedup.
+// -figure ycsb runs the YCSB-style mixed-tenant cell: tenants with
+// private key ranges and A/B/C-like read/insert/remove/move mixes
+// sharing the same growing maps; the -adaptive flag toggles the
+// subsystem there and in the map cells.
 //
 // -json FILE additionally writes every cell as a machine-readable
 // record (mean/CI plus derived ns/op and ops/s per thread count), the
@@ -49,6 +60,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/stats"
 )
 
 // jsonRow is one cell of machine-readable output: raw trial statistics
@@ -77,6 +89,13 @@ type jsonRow struct {
 	ElimMisses float64 `json:"elim_misses"`
 	Grows      float64 `json:"grows"`
 	Migrated   float64 `json:"migrated"`
+	// Adaptive-subsystem decision counters (per-trial means; nonzero
+	// only in cells run with core.Config.Adaptive on).
+	AdaptEpochs   float64 `json:"adapt_epochs"`
+	WindowGrows   float64 `json:"adapt_window_grows"`
+	WindowShrinks float64 `json:"adapt_window_shrinks"`
+	Attaches      float64 `json:"adapt_attaches"`
+	PaceRaises    float64 `json:"adapt_pace_raises"`
 }
 
 // jsonDoc is the -json file layout: host context (thread counts beyond
@@ -130,7 +149,7 @@ func row(figure string, o harness.Options, r harness.Result) jsonRow {
 
 func main() {
 	var (
-		figures    = flag.String("figure", "all", "figures to run: comma list of 2,3,4,map,elim or 'all'")
+		figures    = flag.String("figure", "all", "figures to run: comma list of 2,3,4,map,elim,batch,adapt,ycsb or 'all'")
 		threads    = flag.String("threads", "1,2,4,8,16", "comma list of thread counts")
 		ops        = flag.Int("ops", 1_000_000, "total operations per trial (paper: 5000000)")
 		trials     = flag.Int("trials", 5, "trials per cell (paper: 50)")
@@ -147,6 +166,7 @@ func main() {
 		keydist    = flag.String("keydist", "uniform", "map scenario key distribution: uniform, zipfian")
 		readfrac   = flag.Int("readfrac", 95, "map scenario: lookup percent of the read-mostly panel (0 skips it)")
 		batchSizes = flag.String("batchsizes", "1,4,16,64", "batch scenario: comma list of batch sizes (1 = unbatched)")
+		adaptive   = flag.Bool("adaptive", false, "map/ycsb scenarios: enable the adaptive contention-management subsystem")
 	)
 	flag.Parse()
 
@@ -201,12 +221,22 @@ func main() {
 	for _, fig := range figs {
 		switch fig {
 		case figureMap:
-			fmt.Printf("==== Sharded map: churn + MoveN rebalance ====\n")
+			fmt.Printf("==== Sharded map: churn + MoveN rebalance, lockfree vs blocking ====\n")
 			for _, cont := range conts {
-				runMapPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys, zipf, 0)
+				runMapPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys, zipf, 0, *adaptive)
 				if *readfrac > 0 {
-					runMapPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys, zipf, *readfrac)
+					runMapPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys, zipf, *readfrac, *adaptive)
 				}
+			}
+		case figureYCSB:
+			fmt.Printf("==== YCSB-style mixed tenants over shared maps ====\n")
+			for _, cont := range conts {
+				runYCSBPanel(out, cont, ths, *ops, *trials, *keys, *pin, *adaptive)
+			}
+		case figureAdapt:
+			fmt.Printf("==== Adaptive contention management: map churn, off vs on ====\n")
+			for _, cont := range conts {
+				runAdaptPanel(out, cont, ths, *ops, *trials, *prefill, *pin, *rebalancer, *keys)
 			}
 		case figureBatch:
 			fmt.Printf("==== Batched moves: MoveBuffer amortization curve ====\n")
@@ -235,12 +265,43 @@ func main() {
 	out.flush()
 }
 
-// runMapPanel runs the map-churn scenario across thread counts and
-// prints throughput plus how much rebalancing each trial absorbed.
-// readfrac > 0 selects the read-mostly variant: that percent of
-// operations become plain lookups over the same growing maps.
+// scenarioRow derives the JSON record for one map-family cell (the
+// churn and mixed-tenant scenarios share every field but the figure
+// label and result type).
+func scenarioRow(figure, mix string, cont harness.Contention, impl harness.Impl,
+	t, ops, trials int, sum stats.Summary,
+	elimHits, elimMisses, grows, migrated float64, a harness.AdaptAgg) jsonRow {
+	return jsonRow{
+		Figure: figure, Pair: "map/map", Mix: mix,
+		Contention: cont.String(), Impl: impl.String(),
+		Threads: t, Ops: ops, Trials: trials,
+		MeanMS: sum.Mean / 1e6, CI95MS: sum.CI95() / 1e6,
+		MinMS: sum.Min / 1e6, MaxMS: sum.Max / 1e6,
+		NSPerOp:   sum.Mean / float64(ops),
+		OpsPerSec: float64(ops) * 1e9 / sum.Mean,
+		ElimHits:  elimHits, ElimMisses: elimMisses,
+		Grows: grows, Migrated: migrated,
+		AdaptEpochs: a.Epochs, WindowGrows: a.WindowGrows,
+		WindowShrinks: a.WindowShrinks, Attaches: a.Attaches,
+		PaceRaises: a.PaceRaises,
+	}
+}
+
+// mapRow is scenarioRow over a map-churn result.
+func mapRow(figure, mix string, cont harness.Contention, impl harness.Impl,
+	t int, r harness.MapResult) jsonRow {
+	return scenarioRow(figure, mix, cont, impl, t, r.Ops, len(r.SamplesNS),
+		r.Summary, r.ElimHits, r.ElimMisses, r.Grows, r.Migrated, r.Adapt)
+}
+
+// runMapPanel runs the map-churn scenario across thread counts for
+// both implementation families — the keyed extension of the paper's
+// lockfree-vs-blocking comparison — and prints throughput plus how
+// much rebalancing each lock-free trial absorbed. readfrac > 0 selects
+// the read-mostly variant: that percent of operations become plain
+// lookups over the same growing maps.
 func runMapPanel(out *sink, cont harness.Contention, ths []int,
-	ops, trials, prefill int, pin, rebalancer bool, keys int, zipf bool, readfrac int) {
+	ops, trials, prefill int, pin, rebalancer bool, keys int, zipf bool, readfrac int, adaptive bool) {
 
 	rstr := "no rebalancer"
 	if rebalancer {
@@ -254,48 +315,141 @@ func runMapPanel(out *sink, cont harness.Contention, ths []int,
 	if readfrac > 0 {
 		workload = fmt.Sprintf("read-mostly (%d%% lookups)", readfrac)
 	}
+	if adaptive {
+		workload += ", adaptive"
+	}
 	fmt.Printf("\n-- %s, %s contention, %s, %s --\n", workload, cont, rstr, dist)
-	fmt.Printf("%8s  %14s  %12s  %12s  %10s\n", "threads", "lockfree (ms)", "ops/s", "grows/trial", "migrated")
+	fmt.Printf("%8s  %14s  %14s  %12s  %12s  %10s\n",
+		"threads", "lockfree (ms)", "blocking (ms)", "lf ops/s", "grows/trial", "migrated")
+	// The rebalancer flag and key distribution ride in the mix column;
+	// the backoff column stays honest (the scenario never enables
+	// backoff).
+	mix := "churn"
+	if readfrac > 0 {
+		mix = fmt.Sprintf("read%d", readfrac)
+	}
+	if rebalancer {
+		mix += "+rebalancer"
+	}
+	if zipf {
+		mix += "+zipf"
+	}
+	if adaptive {
+		mix += "+adapt"
+	}
 	for _, t := range ths {
-		r := harness.RunMapChurn(harness.MapOptions{
+		byImpl := make(map[harness.Impl]harness.MapResult)
+		for _, impl := range []harness.Impl{harness.LockFree, harness.Blocking} {
+			r := harness.RunMapChurn(harness.MapOptions{
+				Impl:    impl,
+				Threads: t, TotalOps: ops, Trials: trials,
+				Keys: keys, Rebalancer: rebalancer, Zipf: zipf,
+				ReadFraction: readfrac,
+				Adaptive:     adaptive && impl == harness.LockFree,
+				Contention:   cont, Prefill: prefill, Pin: pin,
+			})
+			byImpl[impl] = r
+			if out.csv != nil {
+				fmt.Fprintf(out.csv, "map,map/map,%s,%s,false,false,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+					mix, cont, impl, t, ops, trials,
+					r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
+					r.Summary.Min/1e6, r.Summary.Max/1e6)
+			}
+			out.add(mapRow("map", mix, cont, impl, t, r))
+		}
+		lf, bl := byImpl[harness.LockFree], byImpl[harness.Blocking]
+		fmt.Printf("%8d  %9.1f ±%4.1f  %9.1f ±%4.1f  %12.0f  %12.1f  %10.1f\n", t,
+			lf.Summary.Mean/1e6, lf.Summary.CI95()/1e6,
+			bl.Summary.Mean/1e6, bl.Summary.CI95()/1e6,
+			float64(ops)/(lf.Summary.Mean/1e9), lf.Grows, lf.Migrated)
+	}
+}
+
+// runYCSBPanel runs the ABC mixed-tenant preset across thread counts,
+// printing overall throughput and the per-tenant operation split.
+func runYCSBPanel(out *sink, cont harness.Contention, ths []int,
+	ops, trials, keys int, pin, adaptive bool) {
+
+	label := "tenants A/B/C, private key ranges"
+	if adaptive {
+		label += ", adaptive"
+	}
+	fmt.Printf("\n-- %s, %s contention --\n", label, cont)
+	fmt.Printf("%8s  %14s  %12s  %30s\n", "threads", "lockfree (ms)", "ops/s", "per-tenant r/i/d/m")
+	for _, t := range ths {
+		r := harness.RunYCSB(harness.YCSBOptions{
 			Threads: t, TotalOps: ops, Trials: trials,
-			Keys: keys, Rebalancer: rebalancer, Zipf: zipf,
-			ReadFraction: readfrac,
-			Contention:   cont, Prefill: prefill, Pin: pin,
+			Tenants:    harness.TenantsABC(keys / 3),
+			Adaptive:   adaptive,
+			Contention: cont, Pin: pin,
 		})
-		opsPerSec := float64(ops) / (r.Summary.Mean / 1e9)
-		fmt.Printf("%8d  %9.1f ±%4.1f  %12.0f  %12.1f  %10.1f\n", t,
-			r.Summary.Mean/1e6, r.Summary.CI95()/1e6, opsPerSec, r.Grows, r.Migrated)
-		// The rebalancer flag and key distribution ride in the mix
-		// column; the backoff column stays honest (the scenario never
-		// enables backoff).
-		mix := "churn"
-		if readfrac > 0 {
-			mix = fmt.Sprintf("read%d", readfrac)
+		split := ""
+		for _, pt := range r.PerTenant {
+			split += fmt.Sprintf(" %s:%d/%d/%d/%d", pt.Name, pt.Reads, pt.Inserts, pt.Removes, pt.Moves)
 		}
-		if rebalancer {
-			mix += "+rebalancer"
-		}
-		if zipf {
-			mix += "+zipf"
+		fmt.Printf("%8d  %9.1f ±%4.1f  %12.0f %s\n", t,
+			r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
+			float64(ops)/(r.Summary.Mean/1e9), split)
+		mix := "ycsb-abc"
+		if adaptive {
+			mix += "+adapt"
 		}
 		if out.csv != nil {
-			fmt.Fprintf(out.csv, "map,map/map,%s,%s,false,false,lockfree,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+			fmt.Fprintf(out.csv, "ycsb,map/map,%s,%s,false,false,lockfree,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
 				mix, cont, t, ops, trials,
 				r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
 				r.Summary.Min/1e6, r.Summary.Max/1e6)
 		}
-		out.add(jsonRow{
-			Figure: "map", Pair: "map/map", Mix: mix,
-			Contention: cont.String(), Impl: harness.LockFree.String(),
-			Threads: t, Ops: r.Ops, Trials: len(r.SamplesNS),
-			MeanMS: r.Summary.Mean / 1e6, CI95MS: r.Summary.CI95() / 1e6,
-			MinMS: r.Summary.Min / 1e6, MaxMS: r.Summary.Max / 1e6,
-			NSPerOp:   r.Summary.Mean / float64(r.Ops),
-			OpsPerSec: opsPerSec,
-			ElimHits:  r.ElimHits, ElimMisses: r.ElimMisses,
-			Grows: r.Grows, Migrated: r.Migrated,
-		})
+		out.add(scenarioRow("ycsb", mix, cont, harness.LockFree, t,
+			r.Ops, len(r.SamplesNS), r.Summary,
+			r.ElimHits, r.ElimMisses, r.Grows, r.Migrated, r.Adapt))
+	}
+}
+
+// runAdaptPanel sweeps the zipfian map-churn cell with the adaptive
+// subsystem off and on — the subsystem's showcase: skewed keys make a
+// few shards hot, which is exactly the signal the controllers feed on.
+func runAdaptPanel(out *sink, cont harness.Contention, ths []int,
+	ops, trials, prefill int, pin, rebalancer bool, keys int) {
+
+	fmt.Printf("\n-- zipfian map churn, %s contention, adaptive off vs on --\n", cont)
+	fmt.Printf("%8s  %14s  %14s  %8s  %8s  %9s  %9s\n",
+		"threads", "adapt off (ms)", "adapt on (ms)", "speedup", "epochs", "attaches", "window±")
+	for _, t := range ths {
+		var off, on harness.MapResult
+		for _, adaptive := range []bool{false, true} {
+			r := harness.RunMapChurn(harness.MapOptions{
+				Threads: t, TotalOps: ops, Trials: trials,
+				Keys: keys, Rebalancer: rebalancer, Zipf: true,
+				Adaptive:   adaptive,
+				Contention: cont, Prefill: prefill, Pin: pin,
+			})
+			if adaptive {
+				on = r
+			} else {
+				off = r
+			}
+			mix := "churn+zipf/adapt=off"
+			if adaptive {
+				mix = "churn+zipf/adapt=on"
+			}
+			if out.csv != nil {
+				fmt.Fprintf(out.csv, "adapt,map/map,%s,%s,false,false,lockfree,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+					mix, cont, t, ops, trials,
+					r.Summary.Mean/1e6, r.Summary.CI95()/1e6,
+					r.Summary.Min/1e6, r.Summary.Max/1e6)
+			}
+			out.add(mapRow("adapt", mix, cont, harness.LockFree, t, r))
+		}
+		speedup := 0.0
+		if on.Summary.Mean > 0 {
+			speedup = off.Summary.Mean / on.Summary.Mean
+		}
+		fmt.Printf("%8d  %9.1f ±%4.1f  %9.1f ±%4.1f  %7.2fx  %8.0f  %9.0f  %4.0f/%-4.0f\n", t,
+			off.Summary.Mean/1e6, off.Summary.CI95()/1e6,
+			on.Summary.Mean/1e6, on.Summary.CI95()/1e6,
+			speedup, on.Adapt.Epochs, on.Adapt.Attaches,
+			on.Adapt.WindowGrows, on.Adapt.WindowShrinks)
 	}
 }
 
@@ -450,18 +604,21 @@ func figurePair(fig int) harness.Pair {
 	}
 }
 
-// figureMap, figureElim and figureBatch are the pseudo-figure numbers
-// selecting the map-churn, elimination-sweep and batched-move
+// figureMap, figureElim, figureBatch, figureYCSB and figureAdapt are
+// the pseudo-figure numbers selecting the map-churn,
+// elimination-sweep, batched-move, mixed-tenant and adaptive
 // scenarios.
 const (
 	figureMap   = -1
 	figureElim  = -2
 	figureBatch = -3
+	figureYCSB  = -4
+	figureAdapt = -5
 )
 
 func parseFigures(s string) ([]int, error) {
 	if s == "all" {
-		return []int{2, 3, 4, figureMap, figureElim, figureBatch}, nil
+		return []int{2, 3, 4, figureMap, figureElim, figureBatch, figureAdapt, figureYCSB}, nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -476,10 +633,16 @@ func parseFigures(s string) ([]int, error) {
 		case "batch":
 			out = append(out, figureBatch)
 			continue
+		case "ycsb":
+			out = append(out, figureYCSB)
+			continue
+		case "adapt":
+			out = append(out, figureAdapt)
+			continue
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 2 || n > 4 {
-			return nil, fmt.Errorf("bad -figure element %q (want 2, 3, 4, map, elim or batch)", part)
+			return nil, fmt.Errorf("bad -figure element %q (want 2, 3, 4, map, elim, batch, adapt or ycsb)", part)
 		}
 		out = append(out, n)
 	}

@@ -9,8 +9,9 @@ import (
 )
 
 func TestParseFigures(t *testing.T) {
-	if got, err := parseFigures("all"); err != nil || len(got) != 6 ||
-		got[3] != figureMap || got[4] != figureElim || got[5] != figureBatch {
+	if got, err := parseFigures("all"); err != nil || len(got) != 8 ||
+		got[3] != figureMap || got[4] != figureElim || got[5] != figureBatch ||
+		got[6] != figureAdapt || got[7] != figureYCSB {
 		t.Fatalf("all: %v %v", got, err)
 	}
 	if got, err := parseFigures("2,4"); err != nil || len(got) != 2 || got[0] != 2 || got[1] != 4 {
@@ -24,6 +25,10 @@ func TestParseFigures(t *testing.T) {
 	}
 	if got, err := parseFigures("batch"); err != nil || len(got) != 1 || got[0] != figureBatch {
 		t.Fatalf("batch: %v %v", got, err)
+	}
+	if got, err := parseFigures("adapt,ycsb"); err != nil || len(got) != 2 ||
+		got[0] != figureAdapt || got[1] != figureYCSB {
+		t.Fatalf("adapt,ycsb: %v %v", got, err)
 	}
 	for _, bad := range []string{"1", "5", "x", "2,9"} {
 		if _, err := parseFigures(bad); err == nil {
@@ -128,8 +133,9 @@ func TestJSONSinkEndToEnd(t *testing.T) {
 	path := t.TempDir() + "/bench.json"
 	out := &sink{doc: &jsonDoc{HostCPUs: 1}, path: path}
 	runElimPanel(out, harness.NoWork, []int{1, 2}, 20000, 1, 64, false)
-	runMapPanel(out, harness.NoWork, []int{1}, 20000, 1, 64, false, true, 512, true, 0)
+	runMapPanel(out, harness.NoWork, []int{1}, 20000, 1, 64, false, true, 512, true, 0, false)
 	runBatchPanel(out, harness.NoWork, []int{1}, []int{1, 4}, 20000, 1, 64, false)
+	runYCSBPanel(out, harness.NoWork, []int{1}, 20000, 1, 512, false, true)
 	out.flush()
 
 	b, err := os.ReadFile(path)
@@ -140,10 +146,11 @@ func TestJSONSinkEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(b, &doc); err != nil {
 		t.Fatalf("written JSON does not parse: %v", err)
 	}
-	// 2 thread counts x (off, on) + 1 map row + 3 batch rows (B=1
-	// baseline, then B=4 unbatched + batched).
-	if len(doc.Rows) != 8 {
-		t.Fatalf("rows=%d want 8", len(doc.Rows))
+	// 2 thread counts x (off, on) + 2 map rows (lockfree + blocking) +
+	// 3 batch rows (B=1 baseline, then B=4 unbatched + batched) + 1
+	// adaptive ycsb row.
+	if len(doc.Rows) != 10 {
+		t.Fatalf("rows=%d want 10", len(doc.Rows))
 	}
 	sawElimOn := false
 	for _, r := range doc.Rows {
@@ -157,11 +164,18 @@ func TestJSONSinkEndToEnd(t *testing.T) {
 	if !sawElimOn {
 		t.Fatal("no elimination-enabled row recorded")
 	}
-	if doc.Rows[4].Figure != "map" || doc.Rows[4].Grows == 0 {
-		t.Fatalf("map row did not record grow stats: %+v", doc.Rows[4])
+	if doc.Rows[4].Figure != "map" || doc.Rows[4].Impl != "lockfree" || doc.Rows[4].Grows == 0 {
+		t.Fatalf("map lockfree row did not record grow stats: %+v", doc.Rows[4])
 	}
-	if doc.Rows[5].Figure != "batch" || doc.Rows[5].Mix != "unbatched/B=1" ||
-		doc.Rows[6].Mix != "unbatched/B=4" || doc.Rows[7].Mix != "batched/B=4" {
-		t.Fatalf("batch rows wrong: %+v / %+v / %+v", doc.Rows[5], doc.Rows[6], doc.Rows[7])
+	if doc.Rows[5].Impl != "blocking" || doc.Rows[5].Grows != 0 {
+		t.Fatalf("map blocking row wrong: %+v", doc.Rows[5])
+	}
+	if doc.Rows[6].Figure != "batch" || doc.Rows[6].Mix != "unbatched/B=1" ||
+		doc.Rows[7].Mix != "unbatched/B=4" || doc.Rows[8].Mix != "batched/B=4" {
+		t.Fatalf("batch rows wrong: %+v / %+v / %+v", doc.Rows[6], doc.Rows[7], doc.Rows[8])
+	}
+	if doc.Rows[9].Figure != "ycsb" || doc.Rows[9].Mix != "ycsb-abc+adapt" ||
+		doc.Rows[9].AdaptEpochs == 0 {
+		t.Fatalf("ycsb adaptive row wrong: %+v", doc.Rows[9])
 	}
 }

@@ -53,6 +53,7 @@ func main() {
 		ops      = flag.Int("ops", 100_000, "operations per thread per round")
 		moveBias = flag.Int("movebias", 50, "percent of operations that are moves")
 		elim     = flag.Bool("elim", false, "enable the elimination-backoff layer")
+		adaptive = flag.Bool("adaptive", false, "enable the adaptive contention-management subsystem")
 		rotate   = flag.Bool("rotate", false, "cycle through all pairs within one run (one pair per round)")
 	)
 	flag.Parse()
@@ -62,6 +63,7 @@ func main() {
 		ArenaCapacity: 1 << 21,
 		DescCapacity:  1 << 18,
 		Elimination:   repro.EliminationConfig{Enable: *elim},
+		Adaptive:      repro.AdaptiveConfig{Enable: *adaptive},
 	})
 	setup := rt.RegisterThread()
 	curPair := *pairName
@@ -197,6 +199,9 @@ func main() {
 				round, roundPair, len(seen), *tokens)
 			os.Exit(1)
 		}
+		// The audit line reports the pair that just ran; capture its
+		// counters before a rotation swaps the containers out.
+		contention := contentionLine(a, b, *elim, *adaptive)
 		// Reinsert for the next round — into the next pair when
 		// rotating: every token is drained (a quiescent state), so
 		// handing the population to freshly built containers is a pure
@@ -215,10 +220,57 @@ func main() {
 			i++
 		}
 		helps, strays, late := rt.DCASPool().Stats()
-		fmt.Printf("round %2d %-12s ok (%6.2fs)  dcas-helps=%d strays=%d late-p2=%d\n",
-			round, roundPair, time.Since(t0).Seconds(), helps, strays, late)
+		fmt.Printf("round %2d %-12s ok (%6.2fs)  dcas-helps=%d strays=%d late-p2=%d%s\n",
+			round, roundPair, time.Since(t0).Seconds(), helps, strays, late, contention)
 	}
 	fmt.Println("stress: all rounds passed — conservation intact")
+}
+
+// contentionLine renders the pair's contention-layer counters:
+// accumulated CAS retries (stacks/lists report one counter, the map
+// sums its shards), elimination hits/misses when the layer is on, and
+// the adaptive controllers' decision counts when adaptation is on.
+func contentionLine(a, b repro.MoveReady, elim, adaptive bool) string {
+	type retrier interface{ Retries() uint64 }
+	type contender interface{ ContentionStats() []uint64 }
+	type elimStatser interface{ ElimStats() (uint64, uint64) }
+	type adaptStatser interface{ AdaptStats() repro.AdaptStats }
+
+	var retries uint64
+	for _, c := range []repro.MoveReady{a, b} {
+		switch s := c.(type) {
+		case contender:
+			for _, n := range s.ContentionStats() {
+				retries += n
+			}
+		case retrier:
+			retries += s.Retries()
+		}
+	}
+	out := fmt.Sprintf("  retries=%d", retries)
+	if elim || adaptive {
+		var hits, misses uint64
+		for _, c := range []repro.MoveReady{a, b} {
+			if es, ok := c.(elimStatser); ok {
+				h, m := es.ElimStats()
+				hits += h
+				misses += m
+			}
+		}
+		out += fmt.Sprintf(" elim=%d/%d", hits, misses)
+	}
+	if adaptive {
+		var st repro.AdaptStats
+		for _, c := range []repro.MoveReady{a, b} {
+			if as, ok := c.(adaptStatser); ok {
+				st.Add(as.AdaptStats())
+			}
+		}
+		out += fmt.Sprintf(" adapt[epochs=%d win=+%d/-%d attach=%d/%d pace=+%d/-%d]",
+			st.Epochs, st.WindowGrows, st.WindowShrinks,
+			st.Attaches, st.Detaches, st.PaceRaises, st.PaceDecays)
+	}
+	return out
 }
 
 // buildPair constructs the requested container pair; akeyed/bkeyed

@@ -1,0 +1,442 @@
+// Package adapt is the feedback-driven contention-management subsystem:
+// it turns the raw contention signals the containers already produce
+// (CAS retries, elimination hits/misses, park timeouts, grow pressure)
+// into control decisions the containers consume. The loop closes the
+// open ends the static knobs left: elim.Config.Slots/Spins are fixed,
+// only mid-grow map shards eliminate, and hashmap.ContentionStats had
+// no consumer.
+//
+// # Model
+//
+// Each adapting object (a stack, a map shard) owns one Controller. The
+// object's operations drive the controller's epoch clock with Tick —
+// one cheap increment of a cache-line padded per-thread stripe, no
+// shared write in the common case. When the striped operation count
+// crosses Config.EpochOps, exactly one thread wins the epoch gate (a
+// CAS) and becomes that epoch's sampler: it gathers the object's
+// cumulative signal counters into a Sample and calls Apply, which
+// differences the sample against the previous epoch, runs the three
+// policies below, publishes the decisions in wait-free-readable
+// atomics, and releases the gate. There is no background goroutine;
+// adaptation advances only as fast as traffic does, and a quiescent
+// object pays nothing.
+//
+// # Policies
+//
+//   - Window sizing: the classic Hendler/Shavit refinement. An
+//     elimination array whose misses pile up while real traffic flows
+//     (parkers colliding on busy slots, takers racing for the same
+//     offers) doubles its active slot window; an array whose parks
+//     expire cold (timeouts with zero hits) halves it. The window
+//     bounds live in [MinWindow, MaxWindow].
+//
+//   - Hot-object elimination: a shard whose per-epoch CAS-retry delta
+//     crosses AttachRetries starts routing contention losers to its
+//     elimination array even though no grow is in flight; it detaches
+//     only after DetachEpochs consecutive epochs at or below
+//     DetachRetries — the attach/detach thresholds plus the epoch
+//     count form the hysteresis band that keeps the decision from
+//     flapping.
+//
+//   - Rebalance pacing: PaceEpochs consecutive epochs at or above
+//     PaceRetries raise LoadShift by one notch (to at most
+//     MaxLoadShift); the consumer subtracts the shift from its
+//     grow-load threshold, so a shard that stays contended splits
+//     earlier than a merely full one. Calm epochs (retries at or below
+//     half of PaceRetries) decay the shift back toward zero.
+//
+// Decisions tune the contention layer only — where an operation waits
+// and when a shard splits. They never move a linearization point:
+// threads inside a Move/MoveN bypass the elimination layer no matter
+// what the controller decides (the containers enforce that gate, and
+// the composition tests probe it).
+package adapt
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// Defaults (see Config).
+const (
+	DefaultEpochOps      = 4096
+	DefaultMinWindow     = 1
+	DefaultMaxWindow     = 16
+	DefaultGrowMisses    = 8
+	DefaultGrowTraffic   = 16
+	DefaultShrinkTOs     = 4
+	DefaultAttachRetries = 64
+	DefaultDetachRetries = 8
+	DefaultDetachEpochs  = 3
+	DefaultPaceRetries   = 128
+	DefaultPaceEpochs    = 2
+	DefaultMaxLoadShift  = 3
+)
+
+// Config tunes the adaptive contention-management subsystem; it rides
+// on core.Config.Adaptive so one knob configures every container built
+// from that runtime. The zero value of every field selects the
+// package default.
+type Config struct {
+	// Enable switches adaptation on for the containers that support it
+	// (stacks adapt their elimination window; map shards additionally
+	// adapt hot-shard elimination and rebalance pacing). Enabling
+	// adaptation attaches elimination arrays to those containers even
+	// when Config.Elimination is off — the arrays are the mechanism two
+	// of the three policies steer.
+	Enable bool
+	// EpochOps is the approximate operation count between samples.
+	EpochOps int
+	// MinWindow/MaxWindow bound the elimination array's active slot
+	// window (MaxWindow is additionally capped by the array capacity).
+	MinWindow, MaxWindow int
+	// GrowMisses/GrowTraffic: the window doubles when an epoch's miss
+	// delta reaches GrowMisses while the attempt delta (hits + misses)
+	// reaches GrowTraffic — misses with traffic, not a cold array.
+	GrowMisses, GrowTraffic uint64
+	// ShrinkTimeouts: the window halves when an epoch saw this many
+	// park timeouts and not a single hit (parks expiring cold).
+	ShrinkTimeouts uint64
+	// AttachRetries/DetachRetries/DetachEpochs: hot-object elimination
+	// hysteresis. One epoch at or above AttachRetries retries attaches;
+	// DetachEpochs consecutive epochs at or below DetachRetries detach.
+	AttachRetries, DetachRetries uint64
+	DetachEpochs                 int
+	// PaceRetries/PaceEpochs/MaxLoadShift: rebalance pacing. Sustained
+	// retry pressure raises LoadShift (lowering the consumer's
+	// effective grow-load threshold) one notch per PaceEpochs
+	// consecutive hot epochs, up to MaxLoadShift; calm epochs decay it.
+	PaceRetries  uint64
+	PaceEpochs   int
+	MaxLoadShift int
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.EpochOps <= 0 {
+		c.EpochOps = DefaultEpochOps
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = DefaultMinWindow
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = DefaultMaxWindow
+	}
+	if c.GrowMisses == 0 {
+		c.GrowMisses = DefaultGrowMisses
+	}
+	if c.GrowTraffic == 0 {
+		c.GrowTraffic = DefaultGrowTraffic
+	}
+	if c.ShrinkTimeouts == 0 {
+		c.ShrinkTimeouts = DefaultShrinkTOs
+	}
+	if c.AttachRetries == 0 {
+		c.AttachRetries = DefaultAttachRetries
+	}
+	if c.DetachRetries == 0 {
+		c.DetachRetries = DefaultDetachRetries
+	}
+	if c.DetachEpochs <= 0 {
+		c.DetachEpochs = DefaultDetachEpochs
+	}
+	if c.PaceRetries == 0 {
+		c.PaceRetries = DefaultPaceRetries
+	}
+	if c.PaceEpochs <= 0 {
+		c.PaceEpochs = DefaultPaceEpochs
+	}
+	if c.MaxLoadShift <= 0 {
+		c.MaxLoadShift = DefaultMaxLoadShift
+	}
+	return c
+}
+
+// Sample is one epoch's view of an object's cumulative signal
+// counters, gathered by the sampling thread. All counter fields are
+// running totals, not deltas — Apply differences them against the
+// previous sample (clamping at zero, because some sources regress:
+// the map's per-bucket retry counters age out when a grow retires
+// their table).
+type Sample struct {
+	// Retries is the object's accumulated lost linearization CASes
+	// (harrislist.Retries summed over a shard's chain; the stack's own
+	// counter).
+	Retries uint64
+	// Hits/Misses/Timeouts are the object's elimination array counters
+	// (elim.Array.Stats and Timeouts); zero when no array is attached.
+	Hits, Misses, Timeouts uint64
+	// Window is the array's current active slot window (0: no array —
+	// window sizing is skipped).
+	Window int
+}
+
+// Decision is what Apply hands back to the sampling container: the
+// desired elimination window plus the two gate values. The gates are
+// also published on the controller for wait-free hot-path reads
+// (ElimActive, LoadShift); Window is not — only the sampler resizes
+// the array, so it rides on the return value.
+type Decision struct {
+	// Window is the desired active slot window (equal to the sampled
+	// window when no resize is called for; 0 when no array exists).
+	Window int
+	// ElimActive reports whether contention losers should route to the
+	// elimination array even outside a grow.
+	ElimActive bool
+	// LoadShift is how many notches to subtract from the grow-load
+	// threshold.
+	LoadShift int
+}
+
+// Stats counts the controller's decisions (all monotone).
+type Stats struct {
+	// Epochs is the number of completed samples.
+	Epochs uint64
+	// WindowGrows/WindowShrinks count APPLIED window resizes — actual
+	// movements of the sampled window between consecutive epochs, not
+	// emitted decisions (a decision the container's TryResize refuses,
+	// e.g. over a waiting offer, is never counted).
+	WindowGrows, WindowShrinks uint64
+	// Attaches/Detaches count hot-object elimination transitions.
+	Attaches, Detaches uint64
+	// PaceRaises/PaceDecays count LoadShift notches moved.
+	PaceRaises, PaceDecays uint64
+}
+
+// Add accumulates o into s (aggregating per-shard controllers).
+func (s *Stats) Add(o Stats) {
+	s.Epochs += o.Epochs
+	s.WindowGrows += o.WindowGrows
+	s.WindowShrinks += o.WindowShrinks
+	s.Attaches += o.Attaches
+	s.Detaches += o.Detaches
+	s.PaceRaises += o.PaceRaises
+	s.PaceDecays += o.PaceDecays
+}
+
+// stripe is one thread's operation counter, padded so concurrent ticks
+// never false-share.
+type stripe struct {
+	n atomic.Uint64
+	_ pad.Pad56
+}
+
+// Controller is one object's feedback loop. Create with New; share
+// freely between threads. Tick and the decision readers are safe from
+// any thread; Apply must only be called by the thread that last won
+// Tick (or by a test driving the policy directly — the gate tolerates
+// an unheld release).
+type Controller struct {
+	cfg Config
+
+	stripes    []stripe
+	checkEvery uint64
+
+	gate      atomic.Uint32
+	sampledAt atomic.Uint64 // tick total at the last claimed epoch
+
+	// Published decisions (wait-free reads on the hot path).
+	elimActive atomic.Bool
+	loadShift  atomic.Int32
+
+	// Decision counters.
+	epochs, winGrows, winShrinks atomic.Uint64
+	attaches, detaches           atomic.Uint64
+	paceRaises, paceDecays       atomic.Uint64
+
+	// Sampler-owned state: written only between a winning Tick and the
+	// matching Apply (or by a single-threaded test).
+	last       Sample
+	haveLast   bool
+	coldEpochs int
+	hotEpochs  int
+}
+
+// New builds a controller for one object. threadsHint (typically the
+// runtime's MaxThreads) sizes the tick stripes; thread ids index them
+// modulo the stripe count.
+func New(cfg Config, threadsHint int) *Controller {
+	cfg = cfg.WithDefaults()
+	if threadsHint < 1 {
+		threadsHint = 1
+	}
+	check := uint64(cfg.EpochOps) / 8
+	if check < 1 {
+		check = 1
+	}
+	if check > 64 {
+		check = 64
+	}
+	return &Controller{
+		cfg:        cfg,
+		stripes:    make([]stripe, threadsHint),
+		checkEvery: check,
+	}
+}
+
+// Config reports the controller's effective (default-filled) tuning.
+func (c *Controller) Config() Config { return c.cfg }
+
+// totalTicks sums the stripes — a wait-free (if racy) read; epoch
+// boundaries are approximate by design.
+func (c *Controller) totalTicks() uint64 {
+	var n uint64
+	for i := range c.stripes {
+		n += c.stripes[i].n.Load()
+	}
+	return n
+}
+
+// Tick advances the epoch clock by one operation on behalf of thread
+// tid. It returns true when this call crossed an epoch boundary AND
+// won the sampling gate: the caller is now the epoch's sampler and
+// must gather a Sample and call Apply (which releases the gate). The
+// common path is one uncontended striped increment; the shared total
+// is only summed every few dozen local operations.
+func (c *Controller) Tick(tid int) bool {
+	s := &c.stripes[uint(tid)%uint(len(c.stripes))]
+	n := s.n.Add(1)
+	if n%c.checkEvery != 0 {
+		return false
+	}
+	if c.totalTicks()-c.sampledAt.Load() < uint64(c.cfg.EpochOps) {
+		return false
+	}
+	if !c.gate.CompareAndSwap(0, 1) {
+		return false // another thread is sampling this epoch
+	}
+	total := c.totalTicks()
+	if total-c.sampledAt.Load() < uint64(c.cfg.EpochOps) {
+		c.gate.Store(0) // lost the re-check: someone sampled in between
+		return false
+	}
+	c.sampledAt.Store(total)
+	return true
+}
+
+// Apply runs the three policies over one epoch's sample, publishes the
+// gate decisions, and releases the sampling gate. It returns the full
+// decision so the caller can apply the window resize (the one decision
+// with a mechanism only the container reaches). Deterministic: the
+// decision depends only on the sample stream, which is what the unit
+// tests exploit.
+func (c *Controller) Apply(s Sample) Decision {
+	d := Decision{Window: s.Window}
+	prev := c.last
+	if !c.haveLast {
+		prev = Sample{} // first epoch differences against zero
+	}
+	dRetries := monotoneDelta(s.Retries, prev.Retries)
+	dHits := monotoneDelta(s.Hits, prev.Hits)
+	dMisses := monotoneDelta(s.Misses, prev.Misses)
+	dTimeouts := monotoneDelta(s.Timeouts, prev.Timeouts)
+	hadLast := c.haveLast
+	c.last = s
+	c.haveLast = true
+
+	// Count APPLIED resizes: the sampled window moving between epochs.
+	// A decision the container could not apply (TryResize refused over
+	// a waiting offer) must not inflate the stats readers use to judge
+	// the adaptation curve.
+	if hadLast && prev.Window > 0 && s.Window > 0 {
+		switch {
+		case s.Window > prev.Window:
+			c.winGrows.Add(1)
+		case s.Window < prev.Window:
+			c.winShrinks.Add(1)
+		}
+	}
+
+	// Window sizing. Cold parks first: timeouts also count as misses,
+	// so a stream of expiring offers must not read as grow pressure.
+	if s.Window > 0 {
+		switch {
+		case dTimeouts >= c.cfg.ShrinkTimeouts && dHits == 0:
+			if half := s.Window / 2; half >= c.cfg.MinWindow {
+				d.Window = half
+			}
+		case dMisses >= c.cfg.GrowMisses && dHits+dMisses >= c.cfg.GrowTraffic:
+			if twice := s.Window * 2; twice <= c.cfg.MaxWindow {
+				d.Window = twice
+			}
+		}
+	}
+
+	// Hot-object elimination with hysteresis.
+	switch {
+	case dRetries >= c.cfg.AttachRetries:
+		if !c.elimActive.Load() {
+			c.elimActive.Store(true)
+			c.attaches.Add(1)
+		}
+		c.coldEpochs = 0
+	case c.elimActive.Load() && dRetries <= c.cfg.DetachRetries:
+		c.coldEpochs++
+		if c.coldEpochs >= c.cfg.DetachEpochs {
+			c.elimActive.Store(false)
+			c.detaches.Add(1)
+			c.coldEpochs = 0
+		}
+	default:
+		c.coldEpochs = 0 // inside the hysteresis band: hold state
+	}
+
+	// Rebalance pacing.
+	if dRetries >= c.cfg.PaceRetries {
+		c.hotEpochs++
+		if c.hotEpochs >= c.cfg.PaceEpochs {
+			if sh := c.loadShift.Load(); int(sh) < c.cfg.MaxLoadShift {
+				c.loadShift.Store(sh + 1)
+				c.paceRaises.Add(1)
+			}
+			c.hotEpochs = 0
+		}
+	} else {
+		c.hotEpochs = 0
+		if dRetries*2 <= c.cfg.PaceRetries {
+			if sh := c.loadShift.Load(); sh > 0 {
+				c.loadShift.Store(sh - 1)
+				c.paceDecays.Add(1)
+			}
+		}
+	}
+
+	d.ElimActive = c.elimActive.Load()
+	d.LoadShift = int(c.loadShift.Load())
+	c.epochs.Add(1)
+	c.gate.Store(0)
+	return d
+}
+
+// monotoneDelta differences two cumulative counters, clamping at zero
+// for sources that can regress (aged-out tables).
+func monotoneDelta(now, then uint64) uint64 {
+	if now < then {
+		return 0
+	}
+	return now - then
+}
+
+// ElimActive reports the hot-object elimination gate (wait-free).
+func (c *Controller) ElimActive() bool { return c.elimActive.Load() }
+
+// LoadShift reports how many notches to subtract from the grow-load
+// threshold (wait-free).
+func (c *Controller) LoadShift() int { return int(c.loadShift.Load()) }
+
+// Epochs reports the number of completed samples.
+func (c *Controller) Epochs() uint64 { return c.epochs.Load() }
+
+// Stats snapshots the decision counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Epochs:        c.epochs.Load(),
+		WindowGrows:   c.winGrows.Load(),
+		WindowShrinks: c.winShrinks.Load(),
+		Attaches:      c.attaches.Load(),
+		Detaches:      c.detaches.Load(),
+		PaceRaises:    c.paceRaises.Load(),
+		PaceDecays:    c.paceDecays.Load(),
+	}
+}

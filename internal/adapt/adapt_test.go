@@ -1,0 +1,291 @@
+package adapt
+
+import (
+	"sync"
+	"testing"
+)
+
+// testConfig: small deterministic thresholds used across the policy
+// tests.
+func testConfig() Config {
+	return Config{
+		Enable:         true,
+		EpochOps:       64,
+		MinWindow:      1,
+		MaxWindow:      8,
+		GrowMisses:     4,
+		GrowTraffic:    8,
+		ShrinkTimeouts: 2,
+		AttachRetries:  10,
+		DetachRetries:  2,
+		DetachEpochs:   2,
+		PaceRetries:    20,
+		PaceEpochs:     2,
+		MaxLoadShift:   2,
+	}
+}
+
+func TestDefaultsFill(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.EpochOps != DefaultEpochOps || c.MaxWindow != DefaultMaxWindow ||
+		c.AttachRetries != DefaultAttachRetries || c.MaxLoadShift != DefaultMaxLoadShift {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}
+
+// TestWindowGrowsUnderMissesWithTraffic: sustained misses with real
+// traffic double the window epoch over epoch up to MaxWindow; a quiet
+// epoch leaves it alone.
+func TestWindowGrowsUnderMissesWithTraffic(t *testing.T) {
+	c := New(testConfig(), 4)
+	window := 2
+	var miss, hit uint64
+	for epoch := 1; epoch <= 3; epoch++ {
+		miss += 10 // ≥ GrowMisses per epoch
+		hit += 2   // attempts = 12 ≥ GrowTraffic
+		d := c.Apply(Sample{Hits: hit, Misses: miss, Window: window})
+		want := window * 2
+		if want > 8 {
+			want = window
+		}
+		if d.Window != want {
+			t.Fatalf("epoch %d: window %d want %d", epoch, d.Window, want)
+		}
+		window = d.Window
+	}
+	if window != 8 {
+		t.Fatalf("window=%d want MaxWindow=8", window)
+	}
+	// At the cap: another hot epoch must not grow past MaxWindow.
+	miss += 10
+	hit += 2
+	if d := c.Apply(Sample{Hits: hit, Misses: miss, Window: window}); d.Window != 8 {
+		t.Fatalf("window grew past cap: %d", d.Window)
+	}
+	// A quiet epoch holds the window.
+	if d := c.Apply(Sample{Hits: hit, Misses: miss, Window: window}); d.Window != 8 {
+		t.Fatalf("quiet epoch moved the window: %d", d.Window)
+	}
+	if s := c.Stats(); s.WindowGrows != 2 {
+		t.Fatalf("WindowGrows=%d want 2", s.WindowGrows)
+	}
+}
+
+// TestWindowShrinksAfterColdTimeouts: parks expiring with zero hits
+// halve the window down to MinWindow; a single hit in the epoch blocks
+// the shrink (the array is not cold).
+func TestWindowShrinksAfterColdTimeouts(t *testing.T) {
+	c := New(testConfig(), 4)
+	var to, miss uint64
+	// Cold epoch: timeouts ≥ ShrinkTimeouts, no hits.
+	to += 3
+	miss += 3 // timeouts also count as misses at the source
+	d := c.Apply(Sample{Misses: miss, Timeouts: to, Window: 8})
+	if d.Window != 4 {
+		t.Fatalf("cold epoch: window %d want 4", d.Window)
+	}
+	// Timeouts with a hit: not cold, hold.
+	to += 3
+	miss += 3
+	d = c.Apply(Sample{Hits: 1, Misses: miss, Timeouts: to, Window: 4})
+	if d.Window != 4 {
+		t.Fatalf("warm epoch shrank: %d", d.Window)
+	}
+	// Two more cold epochs: down to MinWindow and stop.
+	for _, want := range []int{2, 1, 1} {
+		to += 3
+		miss += 3
+		d = c.Apply(Sample{Hits: 1, Misses: miss, Timeouts: to, Window: d.Window})
+		if d.Window != want {
+			t.Fatalf("window %d want %d", d.Window, want)
+		}
+	}
+	if s := c.Stats(); s.WindowShrinks != 3 {
+		t.Fatalf("WindowShrinks=%d want 3", s.WindowShrinks)
+	}
+}
+
+// TestColdStreamPrefersShrinkOverGrow: a stream of expiring parks
+// raises the miss counter too (the array counts a timeout as a miss);
+// the shrink rule must win over the grow rule.
+func TestColdStreamPrefersShrinkOverGrow(t *testing.T) {
+	c := New(testConfig(), 4)
+	// 10 timeouts = 10 misses: passes both the grow gate (misses ≥ 4,
+	// attempts ≥ 8) and the shrink gate (timeouts ≥ 2, hits 0).
+	d := c.Apply(Sample{Misses: 10, Timeouts: 10, Window: 4})
+	if d.Window != 2 {
+		t.Fatalf("cold stream grew the window: %d want 2", d.Window)
+	}
+}
+
+// TestHotAttachDetachHysteresis: one hot epoch attaches; detaching
+// needs DetachEpochs consecutive calm epochs, and an epoch inside the
+// hysteresis band (between the thresholds) resets nothing but also
+// detaches nothing.
+func TestHotAttachDetachHysteresis(t *testing.T) {
+	c := New(testConfig(), 4)
+	var r uint64
+
+	// Below attach: stays off.
+	r += 5
+	c.Apply(Sample{Retries: r})
+	if c.ElimActive() {
+		t.Fatal("attached below AttachRetries")
+	}
+	// One epoch at the attach threshold: on.
+	r += 10
+	c.Apply(Sample{Retries: r})
+	if !c.ElimActive() {
+		t.Fatal("did not attach at AttachRetries")
+	}
+	// One calm epoch (≤ DetachRetries): still on (needs 2 consecutive).
+	r += 1
+	c.Apply(Sample{Retries: r})
+	if !c.ElimActive() {
+		t.Fatal("detached after a single calm epoch")
+	}
+	// Mid-band epoch (between detach and attach): holds on AND resets
+	// the calm streak.
+	r += 5
+	c.Apply(Sample{Retries: r})
+	if !c.ElimActive() {
+		t.Fatal("mid-band epoch detached")
+	}
+	// Two consecutive calm epochs: off.
+	r += 1
+	c.Apply(Sample{Retries: r})
+	if !c.ElimActive() {
+		t.Fatal("calm streak was not reset by the mid-band epoch")
+	}
+	r += 1
+	c.Apply(Sample{Retries: r})
+	if c.ElimActive() {
+		t.Fatal("did not detach after DetachEpochs calm epochs")
+	}
+	s := c.Stats()
+	if s.Attaches != 1 || s.Detaches != 1 {
+		t.Fatalf("attaches=%d detaches=%d want 1/1", s.Attaches, s.Detaches)
+	}
+}
+
+// TestPacingRaisesAndDecays: sustained retry pressure raises LoadShift
+// one notch per PaceEpochs hot epochs up to the cap; calm epochs decay
+// it back to zero.
+func TestPacingRaisesAndDecays(t *testing.T) {
+	c := New(testConfig(), 4)
+	var r uint64
+	hot := func() { r += 25; c.Apply(Sample{Retries: r}) } // ≥ PaceRetries
+	calm := func() { r += 5; c.Apply(Sample{Retries: r}) } // ≤ PaceRetries/2
+	mid := func() { r += 15; c.Apply(Sample{Retries: r}) } // between
+
+	hot()
+	if c.LoadShift() != 0 {
+		t.Fatal("raised after one hot epoch (want PaceEpochs=2)")
+	}
+	hot()
+	if c.LoadShift() != 1 {
+		t.Fatalf("shift=%d want 1 after 2 hot epochs", c.LoadShift())
+	}
+	hot()
+	hot()
+	if c.LoadShift() != 2 {
+		t.Fatalf("shift=%d want 2", c.LoadShift())
+	}
+	hot()
+	hot()
+	if c.LoadShift() != 2 {
+		t.Fatalf("shift=%d exceeded MaxLoadShift", c.LoadShift())
+	}
+	// A mid epoch (above the decay threshold, below pace) holds.
+	mid()
+	if c.LoadShift() != 2 {
+		t.Fatalf("mid epoch moved shift: %d", c.LoadShift())
+	}
+	calm()
+	calm()
+	if c.LoadShift() != 0 {
+		t.Fatalf("shift=%d want 0 after calm decay", c.LoadShift())
+	}
+	s := c.Stats()
+	if s.PaceRaises != 2 || s.PaceDecays != 2 {
+		t.Fatalf("raises=%d decays=%d want 2/2", s.PaceRaises, s.PaceDecays)
+	}
+}
+
+// TestRegressingCountersClampToZero: a source whose cumulative counter
+// moves backwards (the map's bucket retries age out with a drained
+// table) must read as a zero delta, not a huge unsigned wrap.
+func TestRegressingCountersClampToZero(t *testing.T) {
+	c := New(testConfig(), 4)
+	c.Apply(Sample{Retries: 1000})
+	if !c.ElimActive() {
+		t.Fatal("first epoch with 1000 retries should attach")
+	}
+	// Counter regressed to 3: delta must clamp to 0 (a calm epoch),
+	// not wrap to ~2^64 (a scorching one).
+	for i := 0; i < testConfig().DetachEpochs; i++ {
+		c.Apply(Sample{Retries: 3})
+	}
+	if c.ElimActive() {
+		// Note: after the first regression, last=3, so subsequent
+		// epochs have delta 0 ≤ DetachRetries and detach.
+		t.Fatal("regressed counter kept the object hot")
+	}
+}
+
+// TestTickEpochGate: the striped clock crosses one epoch per EpochOps
+// ticks (approximately) and exactly one concurrent caller wins each
+// epoch.
+func TestTickEpochGate(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, 4)
+	wins := 0
+	for i := 0; i < cfg.EpochOps*4; i++ {
+		if c.Tick(0) {
+			wins++
+			c.Apply(Sample{}) // release the gate
+		}
+	}
+	if wins < 2 || wins > 5 {
+		t.Fatalf("wins=%d over 4 epochs' worth of ticks", wins)
+	}
+	if got := c.Epochs(); got != uint64(wins) {
+		t.Fatalf("epochs=%d want %d", got, wins)
+	}
+}
+
+// TestTickConcurrentSingleSampler: racing tickers never yield two
+// concurrent samplers (the gate is claim/release) and the tick path is
+// race-clean.
+func TestTickConcurrentSingleSampler(t *testing.T) {
+	cfg := testConfig()
+	cfg.EpochOps = 256
+	c := New(cfg, 8)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	inSample := false
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				if c.Tick(tid) {
+					mu.Lock()
+					if inSample {
+						t.Error("two concurrent samplers")
+					}
+					inSample = true
+					mu.Unlock()
+					mu.Lock()
+					inSample = false
+					mu.Unlock()
+					c.Apply(Sample{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Epochs() == 0 {
+		t.Fatal("no epochs completed under concurrency")
+	}
+}

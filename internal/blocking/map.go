@@ -1,0 +1,316 @@
+package blocking
+
+// This file adds the lock-striped blocking hash map, extending the
+// paper's lockfree-vs-blocking comparison (Figures 2–4) to the keyed
+// map-churn workload: the fair baseline for the sharded lock-free map
+// is not one global lock but a stripe of TTAS locks, one per shard,
+// with keyed cross-map moves taking exactly the two shard locks they
+// touch (in global order). As §7 notes for the whole blocking family,
+// such a move cannot be combined with non-blocking operations — every
+// operation here goes through its shard's lock — and there is no
+// blocking analogue of the MoveN fan-out (three locks would nest; the
+// harness's blocking cells fall back to plain keyed moves).
+
+import (
+	"repro/internal/core"
+	"repro/internal/pad"
+	"repro/internal/spin"
+	"repro/internal/word"
+)
+
+// DefaultMapGrowLoad mirrors the lock-free map's default mean
+// entries-per-bucket threshold.
+const DefaultMapGrowLoad = 6
+
+// Map is a lock-striped blocking hash map from uint64 keys to uint64
+// values: a power-of-two number of shards, each a TTAS lock guarding a
+// bucket array of singly linked arena nodes. Shards rehash (double
+// their buckets) under their own lock when the load threshold trips.
+type Map struct {
+	id        uint64
+	shards    []mapShard
+	shardMask uint64
+	shardBits uint
+	growLoad  int
+}
+
+// mapShard is one stripe: its lock, then its table.
+type mapShard struct {
+	mu spin.TTAS
+	_  pad.Line
+	// buckets holds node refs (word.Nil = empty chain); guarded by mu.
+	buckets []uint64
+	mask    uint64
+	count   int
+}
+
+// NewMap creates a blocking map with the given shard count (rounded up
+// to a power of two), initial buckets per shard (likewise), and mean
+// entries-per-bucket grow threshold (<= 0 selects DefaultMapGrowLoad).
+func NewMap(t *core.Thread, shards, bucketsPerShard, growLoad int) *Map {
+	ns := pad.CeilPow2(shards)
+	if growLoad <= 0 {
+		growLoad = DefaultMapGrowLoad
+	}
+	m := &Map{
+		id:        t.Runtime().NextObjectID(),
+		shards:    make([]mapShard, ns),
+		shardMask: uint64(ns - 1),
+		growLoad:  growLoad,
+	}
+	for ns > 1 {
+		m.shardBits++
+		ns >>= 1
+	}
+	per := pad.CeilPow2(bucketsPerShard)
+	for i := range m.shards {
+		m.shards[i].buckets = make([]uint64, per)
+		m.shards[i].mask = uint64(per - 1)
+		for j := range m.shards[i].buckets {
+			m.shards[i].buckets[j] = word.Nil
+		}
+	}
+	return m
+}
+
+// ObjectID implements the blocking Object identity.
+func (m *Map) ObjectID() uint64 { return m.id }
+
+// hash is the same splitmix64 finalizer the lock-free map uses, so the
+// two spread keys identically over shards and buckets.
+func mapHash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (m *Map) shard(h uint64) *mapShard { return &m.shards[h&m.shardMask] }
+
+func (s *mapShard) lock(t *core.Thread) {
+	if bo := t.Backoff(); bo != nil {
+		s.mu.LockBackoff(bo)
+		return
+	}
+	s.mu.Lock()
+}
+
+// bucketIdx selects the shard-local bucket for hash h.
+func (m *Map) bucketIdx(s *mapShard, h uint64) uint64 {
+	return (h >> m.shardBits) & s.mask
+}
+
+// insertShardLocked adds (key, val) with the shard lock held; false on
+// duplicate.
+func (m *Map) insertShardLocked(t *core.Thread, s *mapShard, h, key, val uint64) bool {
+	idx := m.bucketIdx(s, h)
+	for cur := s.buckets[idx]; cur != word.Nil; cur = t.Node(cur).Next.Load() {
+		if t.Node(cur).Key == key {
+			return false
+		}
+	}
+	ref := t.AllocNode()
+	n := t.Node(ref)
+	n.Key, n.Val = key, val
+	n.Next.Store(s.buckets[idx])
+	s.buckets[idx] = ref
+	s.count++
+	if s.count > len(s.buckets)*m.growLoad {
+		m.rehashLocked(t, s)
+	}
+	return true
+}
+
+// removeLocked deletes key with the shard lock held.
+func (m *Map) removeShardLocked(t *core.Thread, s *mapShard, h, key uint64) (uint64, bool) {
+	idx := m.bucketIdx(s, h)
+	cur := s.buckets[idx]
+	if cur == word.Nil {
+		return 0, false
+	}
+	if n := t.Node(cur); n.Key == key {
+		s.buckets[idx] = n.Next.Load()
+		val := n.Val
+		t.FreeNodeDirect(cur)
+		s.count--
+		return val, true
+	}
+	for prev := cur; ; prev = cur {
+		cur = t.Node(prev).Next.Load()
+		if cur == word.Nil {
+			return 0, false
+		}
+		if n := t.Node(cur); n.Key == key {
+			t.Node(prev).Next.Store(n.Next.Load())
+			val := n.Val
+			t.FreeNodeDirect(cur)
+			s.count--
+			return val, true
+		}
+	}
+}
+
+// rehashLocked doubles the shard's bucket array and redistributes its
+// chains; mu held. The shard mask changes but the shard selection bits
+// do not, so entries stay in their stripe.
+func (m *Map) rehashLocked(t *core.Thread, s *mapShard) {
+	old := s.buckets
+	nb := make([]uint64, len(old)*2)
+	for i := range nb {
+		nb[i] = word.Nil
+	}
+	s.buckets = nb
+	s.mask = uint64(len(nb) - 1)
+	for _, head := range old {
+		for cur := head; cur != word.Nil; {
+			n := t.Node(cur)
+			next := n.Next.Load()
+			idx := m.bucketIdx(s, mapHash(n.Key))
+			n.Next.Store(s.buckets[idx])
+			s.buckets[idx] = cur
+			cur = next
+		}
+	}
+}
+
+// Insert adds (key, val); false when the key exists.
+func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
+	h := mapHash(key)
+	s := m.shard(h)
+	s.lock(t)
+	ok := m.insertShardLocked(t, s, h, key, val)
+	s.mu.Unlock()
+	t.BackoffReset()
+	return ok
+}
+
+// Remove deletes key and returns its value.
+func (m *Map) Remove(t *core.Thread, key uint64) (uint64, bool) {
+	h := mapHash(key)
+	s := m.shard(h)
+	s.lock(t)
+	v, ok := m.removeShardLocked(t, s, h, key)
+	s.mu.Unlock()
+	t.BackoffReset()
+	return v, ok
+}
+
+// Contains reports presence and value.
+func (m *Map) Contains(t *core.Thread, key uint64) (uint64, bool) {
+	h := mapHash(key)
+	s := m.shard(h)
+	s.lock(t)
+	idx := m.bucketIdx(s, h)
+	for cur := s.buckets[idx]; cur != word.Nil; cur = t.Node(cur).Next.Load() {
+		if n := t.Node(cur); n.Key == key {
+			v := n.Val
+			s.mu.Unlock()
+			return v, true
+		}
+	}
+	s.mu.Unlock()
+	return 0, false
+}
+
+// Len reports the element count (momentary under concurrency).
+func (m *Map) Len(t *core.Thread) int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.lock(t)
+		n += s.count
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Buckets reports the total bucket count across shards (tests).
+func (m *Map) Buckets() int {
+	n := 0
+	for i := range m.shards {
+		n += len(m.shards[i].buckets)
+	}
+	return n
+}
+
+// MoveMap moves key skey from src to key tkey in dst as one critical
+// section over exactly the two shard locks involved, ordered globally
+// by (ObjectID, shard index) to avoid deadlock — the lock-striped
+// analogue of the package-level Move. It returns the moved value and
+// whether the move happened (false: source key absent or target key
+// occupied; both maps unchanged).
+func (m *Map) MoveMap(t *core.Thread, dst *Map, skey, tkey uint64) (uint64, bool) {
+	if m == dst && m.shard(mapHash(skey)) == m.shard(mapHash(tkey)) {
+		// Same stripe: one lock suffices (and double-locking a TTAS
+		// self-deadlocks).
+		h1, h2 := mapHash(skey), mapHash(tkey)
+		s := m.shard(h1)
+		s.lock(t)
+		defer s.mu.Unlock()
+		v, ok := m.removeShardLocked(t, s, h1, skey)
+		if !ok {
+			return 0, false
+		}
+		if !m.insertShardLocked(t, s, h2, tkey, v) {
+			m.insertShardLocked(t, s, h1, skey, v) // undo; unobserved
+			return 0, false
+		}
+		return v, true
+	}
+	sh, th2 := mapHash(skey), mapHash(tkey)
+	ss, ts := m.shard(sh), dst.shard(th2)
+	first, second := ss, ts
+	// Global order: object id, then stripe index within the object.
+	if m.id > dst.id || (m.id == dst.id && sh&m.shardMask > th2&dst.shardMask) {
+		first, second = ts, ss
+	}
+	first.lock(t)
+	second.lock(t)
+	defer first.mu.Unlock()
+	defer second.mu.Unlock()
+	v, ok := m.removeShardLocked(t, ss, sh, skey)
+	if !ok {
+		return 0, false
+	}
+	if !dst.insertShardLocked(t, ts, th2, tkey, v) {
+		m.insertShardLocked(t, ss, sh, skey, v) // undo; unobserved
+		return 0, false
+	}
+	return v, true
+}
+
+// --- package-level Move compatibility ---------------------------------------
+//
+// The generic blocking.Move acquires whole objects; for the striped
+// map that means every shard lock in index order. It exists so the map
+// can stand in anywhere a Source/Target is expected (the stress
+// harness); the measured map cells use MoveMap's two-lock path.
+
+func (m *Map) acquire(t *core.Thread) {
+	for i := range m.shards {
+		m.shards[i].lock(t)
+	}
+}
+
+func (m *Map) release() {
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+func (m *Map) insertLocked(t *core.Thread, key, val uint64) bool {
+	h := mapHash(key)
+	return m.insertShardLocked(t, m.shard(h), h, key, val)
+}
+
+func (m *Map) removeLocked(t *core.Thread, key uint64) (uint64, bool) {
+	h := mapHash(key)
+	return m.removeShardLocked(t, m.shard(h), h, key)
+}
+
+var (
+	_ Source = (*Map)(nil)
+	_ Target = (*Map)(nil)
+)

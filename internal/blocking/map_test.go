@@ -1,0 +1,178 @@
+package blocking
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMapBasics(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	m := NewMap(th, 4, 2, 0)
+	for i := uint64(1); i <= 100; i++ {
+		if !m.Insert(th, i, i*10) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if m.Insert(th, 7, 1) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if m.Len(th) != 100 {
+		t.Fatalf("len=%d", m.Len(th))
+	}
+	if v, ok := m.Contains(th, 42); !ok || v != 420 {
+		t.Fatalf("contains(42): %d %v", v, ok)
+	}
+	if v, ok := m.Remove(th, 42); !ok || v != 420 {
+		t.Fatalf("remove(42): %d %v", v, ok)
+	}
+	if _, ok := m.Contains(th, 42); ok {
+		t.Fatal("removed key still present")
+	}
+	if _, ok := m.Remove(th, 42); ok {
+		t.Fatal("double remove succeeded")
+	}
+	if m.Len(th) != 99 {
+		t.Fatalf("len=%d", m.Len(th))
+	}
+}
+
+// TestMapRehash: passing the load threshold doubles the shard's
+// buckets and every entry survives.
+func TestMapRehash(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	m := NewMap(th, 2, 2, 2)
+	before := m.Buckets()
+	for i := uint64(1); i <= 256; i++ {
+		m.Insert(th, i, i)
+	}
+	if m.Buckets() <= before {
+		t.Fatalf("buckets did not grow: %d -> %d", before, m.Buckets())
+	}
+	for i := uint64(1); i <= 256; i++ {
+		if v, ok := m.Contains(th, i); !ok || v != i {
+			t.Fatalf("key %d lost after rehash: %d %v", i, v, ok)
+		}
+	}
+}
+
+// TestMapMoveMap: the two-lock keyed move conserves values in both
+// directions and rolls back on an occupied target.
+func TestMapMoveMap(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	a := NewMap(th, 4, 2, 0)
+	b := NewMap(th, 4, 2, 0)
+	a.Insert(th, 1, 11)
+	b.Insert(th, 2, 22)
+	if v, ok := a.MoveMap(th, b, 1, 1); !ok || v != 11 {
+		t.Fatalf("move a→b: %d %v", v, ok)
+	}
+	if _, ok := a.Contains(th, 1); ok {
+		t.Fatal("moved key still in source")
+	}
+	if v, ok := b.Contains(th, 1); !ok || v != 11 {
+		t.Fatalf("moved key missing in target: %d %v", v, ok)
+	}
+	// Occupied target: move must fail and leave both unchanged.
+	a.Insert(th, 3, 33)
+	if _, ok := a.MoveMap(th, b, 3, 2); ok {
+		t.Fatal("move onto occupied key succeeded")
+	}
+	if v, ok := a.Contains(th, 3); !ok || v != 33 {
+		t.Fatalf("failed move lost the source entry: %d %v", v, ok)
+	}
+	// Same-map move (distinct or same stripe both legal).
+	if v, ok := a.MoveMap(th, a, 3, 4); !ok || v != 33 {
+		t.Fatalf("same-map move: %d %v", v, ok)
+	}
+	if _, ok := a.Contains(th, 3); ok {
+		t.Fatal("same-map move left the source key")
+	}
+	if v, ok := a.Contains(th, 4); !ok || v != 33 {
+		t.Fatalf("same-map move target: %d %v", v, ok)
+	}
+}
+
+// TestMapConcurrentConservation races keyed moves and churn between
+// two striped maps and audits that every token survives exactly once.
+func TestMapConcurrentConservation(t *testing.T) {
+	const workers = 4
+	const tokens = 64
+	const opsPer = 3000
+	rt := newRT(workers + 1)
+	setup := rt.RegisterThread()
+	a := NewMap(setup, 4, 2, 2)
+	b := NewMap(setup, 4, 2, 2)
+	for i := uint64(1); i <= tokens; i++ {
+		if i%2 == 0 {
+			a.Insert(setup, i, i)
+		} else {
+			b.Insert(setup, i, i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		th := rt.RegisterThread()
+		go func(w int, th *core.Thread) {
+			defer wg.Done()
+			rng := uint64(w+1) * 0x9e3779b97f4a7c15
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			for i := 0; i < opsPer; i++ {
+				tok := next()%tokens + 1
+				src, dst := a, b
+				if next()&1 == 0 {
+					src, dst = b, a
+				}
+				if next()&1 == 0 {
+					src.MoveMap(th, dst, tok, tok)
+				} else if v, ok := src.Remove(th, tok); ok {
+					for !src.Insert(th, tok, v) && !dst.Insert(th, tok, v) {
+					}
+				}
+			}
+		}(w, th)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]int)
+	for k := uint64(1); k <= tokens; k++ {
+		if v, ok := a.Remove(setup, k); ok {
+			seen[v]++
+		}
+		if v, ok := b.Remove(setup, k); ok {
+			seen[v]++
+		}
+	}
+	if len(seen) != tokens {
+		t.Fatalf("%d distinct tokens, want %d", len(seen), tokens)
+	}
+	for tok, n := range seen {
+		if n != 1 {
+			t.Fatalf("token %d seen %d times", tok, n)
+		}
+	}
+}
+
+// TestMapGenericBlockingMove: the whole-object acquire path composes
+// with the package-level Move against a queue.
+func TestMapGenericBlockingMove(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	m := NewMap(th, 2, 2, 0)
+	q := NewQueue(th)
+	m.Insert(th, 9, 99)
+	if v, ok := Move(th, m, q, 9, 0); !ok || v != 99 {
+		t.Fatalf("map→queue move: %d %v", v, ok)
+	}
+	if v, ok := Move(th, q, m, 0, 9); !ok || v != 99 {
+		t.Fatalf("queue→map move: %d %v", v, ok)
+	}
+	if v, ok := m.Contains(th, 9); !ok || v != 99 {
+		t.Fatalf("round trip lost the entry: %d %v", v, ok)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/adapt"
 	"repro/internal/arena"
 	"repro/internal/dcas"
 	"repro/internal/elim"
@@ -78,6 +79,17 @@ type Config struct {
 	// linearization must go through its DCAS/MCAS descriptor. Disabled
 	// by default.
 	Elimination elim.Config
+	// Adaptive configures the feedback-driven contention-management
+	// subsystem (package adapt): per-object controllers sample the
+	// containers' contention signals on operation-count epochs and tune
+	// the elimination window, attach elimination to hot unsealed map
+	// shards, and pace shard rebalancing. Enabling it attaches
+	// elimination arrays to the supporting containers even when
+	// Elimination.Enable is false (the arrays are the mechanism the
+	// controllers steer). Adaptation never reroutes a move: the
+	// Move/MoveN elimination bypass holds regardless of any decision.
+	// Disabled by default.
+	Adaptive adapt.Config
 }
 
 // Runtime owns the shared substrate for one family of concurrent
@@ -136,6 +148,21 @@ func (rt *Runtime) MaxThreads() int { return rt.cfg.MaxThreads }
 // containers consult it at construction time to decide whether (and how
 // big) an elimination array to attach.
 func (rt *Runtime) Elimination() elim.Config { return rt.cfg.Elimination }
+
+// Adaptive reports the configured adaptive contention-management
+// tuning; containers consult it at construction time to decide whether
+// to attach a controller (and how to parameterize its policies).
+func (rt *Runtime) Adaptive() adapt.Config { return rt.cfg.Adaptive }
+
+// NewController builds an adapt controller sized for this runtime's
+// thread bound, or nil when adaptation is disabled — the one-liner
+// containers call at construction time.
+func (rt *Runtime) NewController() *adapt.Controller {
+	if !rt.cfg.Adaptive.Enable {
+		return nil
+	}
+	return adapt.New(rt.cfg.Adaptive, rt.cfg.MaxThreads)
+}
 
 // NextObjectID hands out stable object identities; the blocking baseline
 // uses them for lock ordering and Move uses them to reject same-object

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/arena"
 	"repro/internal/backoff"
 	"repro/internal/dcas"
@@ -217,6 +218,19 @@ func (t *Thread) Backoff() *backoff.Exp {
 // (desc ≠ 0 in the paper's terms); containers use it in assertions and
 // tests observe it.
 func (t *Thread) MoveInFlight() bool { return t.desc != nil || t.mdesc != nil }
+
+// AdaptTick is the adaptive subsystem's hook in the operation path:
+// containers call it once per operation with their controller (nil is
+// a no-op, so the call can sit unconditionally on the hot path). A
+// true return means this thread crossed the controller's epoch
+// boundary and won the sampling gate — the container must now gather
+// its signal counters and feed them to the controller's Apply.
+func (t *Thread) AdaptTick(c *adapt.Controller) bool {
+	if c == nil {
+		return false
+	}
+	return c.Tick(t.id)
+}
 
 // Seq returns a thread-local counter that increments on every call;
 // containers use it to build unique sub-keys (e.g. the priority queue's

@@ -35,6 +35,18 @@
 // takes, because a move's linearization must go through its DCAS/MCAS
 // descriptor, never a side-channel exchange. That gate lives in the
 // containers (they know their Thread); this package is mechanism only.
+//
+// # Adaptive window
+//
+// An array allocated with NewArrayCapacity carries an active slot
+// window smaller than (or equal to) its physical capacity: parkers
+// choose slots only inside the window, while takers always scan the
+// full capacity. The adapt package's controllers resize the window via
+// TryResize — grow under misses-with-traffic, shrink when parks expire
+// cold. A shrink is refused while a waiting offer sits in a slot the
+// shrink would deactivate; and because takers scan the whole physical
+// array regardless, an offer that races into a just-deactivated slot
+// is still found and consumed — a resize can strand no offer, ever.
 package elim
 
 import (
@@ -94,32 +106,66 @@ type slot struct {
 	_     [pad.CacheLineSize - 24]byte
 }
 
-// Array is one elimination array. Create with NewArray; share freely
-// between threads.
+// Array is one elimination array. Create with NewArray (fixed window)
+// or NewArrayCapacity (resizable window); share freely between
+// threads.
 type Array struct {
 	slots []slot
-	mask  uint64
+	mask  uint64 // physical mask: len(slots)-1
 	spins int
 
-	hits   atomic.Uint64
-	_      pad.Pad56
-	misses atomic.Uint64
-	_      pad.Pad56
-}
+	// window is the active slot count (a power of two ≤ len(slots)):
+	// parkers pick slots inside it, takers scan all of len(slots).
+	window atomic.Uint64
 
-// ceilPow2 rounds n up to a power of two, minimum 1.
-func ceilPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
-	}
-	return p
+	hits     atomic.Uint64
+	_        pad.Pad56
+	misses   atomic.Uint64
+	_        pad.Pad56
+	timeouts atomic.Uint64
+	_        pad.Pad56
 }
 
 // NewArray builds an array from cfg. threadsHint (typically the
 // runtime's MaxThreads) sizes the slot count when cfg.Slots is not set:
-// one slot per prospective pair of threads.
+// one slot per prospective pair of threads. The window equals the
+// capacity — the static configuration.
 func NewArray(cfg Config, threadsHint int) *Array {
+	n := initialSlots(cfg, threadsHint)
+	return NewArrayCapacity(cfg, threadsHint, n)
+}
+
+// NewArrayCapacity builds an array with capacity physical slots
+// (rounded up to a power of two, capped at MaxSlots) whose active
+// window starts at the cfg-derived slot count (clamped to capacity).
+// The window can then move within [1, capacity] via TryResize — the
+// shape the adaptive layer drives.
+func NewArrayCapacity(cfg Config, threadsHint, capacity int) *Array {
+	window := initialSlots(cfg, threadsHint)
+	capacity = pad.CeilPow2(capacity)
+	if capacity > MaxSlots {
+		capacity = MaxSlots
+	}
+	if window > capacity {
+		window = capacity
+	}
+	spins := cfg.Spins
+	if spins <= 0 {
+		spins = DefaultSpins
+	}
+	a := &Array{
+		slots: make([]slot, capacity),
+		mask:  uint64(capacity - 1),
+		spins: spins,
+	}
+	a.window.Store(uint64(window))
+	return a
+}
+
+// initialSlots derives the starting slot count from cfg and the thread
+// bound: one slot per prospective pair of threads, power of two, at
+// most MaxSlots.
+func initialSlots(cfg Config, threadsHint int) int {
 	slots := cfg.Slots
 	if slots <= 0 {
 		slots = threadsHint / 2
@@ -127,23 +173,51 @@ func NewArray(cfg Config, threadsHint int) *Array {
 	if slots < 1 {
 		slots = 1
 	}
-	slots = ceilPow2(slots)
+	slots = pad.CeilPow2(slots)
 	if slots > MaxSlots {
 		slots = MaxSlots
 	}
-	spins := cfg.Spins
-	if spins <= 0 {
-		spins = DefaultSpins
-	}
-	return &Array{
-		slots: make([]slot, slots),
-		mask:  uint64(slots - 1),
-		spins: spins,
-	}
+	return slots
 }
 
-// Size reports the slot count.
+// Size reports the physical slot count (see Window for the active
+// count).
 func (a *Array) Size() int { return len(a.slots) }
+
+// Capacity is Size under its adaptive-layer name.
+func (a *Array) Capacity() int { return len(a.slots) }
+
+// Window reports the active slot count parkers choose from.
+func (a *Array) Window() int { return int(a.window.Load()) }
+
+// TryResize moves the active window to n slots (rounded up to a power
+// of two, clamped to [1, Capacity]). A shrink is refused — false —
+// when a slot it would deactivate holds a waiting offer at decision
+// time, so a window never shrinks over a visibly parked operation; an
+// offer racing into the deactivated range anyway stays consumable
+// because takers scan the full physical array. Concurrent TryResize
+// calls race on one CAS; the loser reports false.
+func (a *Array) TryResize(n int) bool {
+	want := uint64(pad.CeilPow2(n))
+	if want < 1 {
+		want = 1
+	}
+	if want > uint64(len(a.slots)) {
+		want = uint64(len(a.slots))
+	}
+	cur := a.window.Load()
+	if want == cur {
+		return true
+	}
+	if want < cur {
+		for i := want; i < cur; i++ {
+			if phase(a.slots[i].state.Load()) == phaseWaiting {
+				return false // never shrink under a waiting offer
+			}
+		}
+	}
+	return a.window.CompareAndSwap(cur, want)
+}
 
 // Stats reports how many operations were eliminated (hits — each
 // successful exchange counts once per side) and how many elimination
@@ -151,6 +225,11 @@ func (a *Array) Size() int { return len(a.slots) }
 func (a *Array) Stats() (hits, misses uint64) {
 	return a.hits.Load(), a.misses.Load()
 }
+
+// Timeouts reports how many parks expired without a taker (each also
+// counts as a miss); the adaptive layer reads it as the cold-array
+// signal.
+func (a *Array) Timeouts() uint64 { return a.timeouts.Load() }
 
 // Park publishes (key, val) in a slot chosen by start and waits the
 // array's configured window for a taker. It reports whether the value
@@ -163,7 +242,7 @@ func (a *Array) Park(start, key, val uint64) bool {
 
 // ParkFor is Park with an explicit spin window (tests and tuning).
 func (a *Array) ParkFor(start, key, val uint64, spins int) bool {
-	s := &a.slots[start&a.mask]
+	s := &a.slots[start&(a.window.Load()-1)]
 	st := s.state.Load()
 	if phase(st) != phaseEmpty {
 		a.misses.Add(1)
@@ -195,6 +274,7 @@ func (a *Array) ParkFor(start, key, val uint64, spins int) bool {
 	// meantime, in which case the exchange already happened.
 	if s.state.CompareAndSwap(waiting, pack(next+2, phaseEmpty)) {
 		a.misses.Add(1)
+		a.timeouts.Add(1)
 		return false
 	}
 	s.state.Store(pack(next+2, phaseEmpty))
@@ -220,6 +300,10 @@ func (h Handle) Val() uint64 { return h.val }
 // between Peek and Take, so the eliminated pair can be linearized at a
 // moment when the key was provably absent and the insert provably
 // parked. A failed Peek counts as a miss.
+//
+// The scan covers the full physical capacity, not just the active
+// window: an offer parked just before a window shrink must stay
+// consumable until it is taken or withdraws.
 func (a *Array) Peek(start, key uint64, anyKey bool) (Handle, bool) {
 	n := len(a.slots)
 	for i := 0; i < n; i++ {

@@ -185,3 +185,109 @@ func TestConcurrentExchangeConservation(t *testing.T) {
 	}
 	t.Logf("exchanges=%d hits=%d misses=%d", takerSide, hits, misses)
 }
+
+// TestWindowResize: TryResize moves the active window within
+// [1, Capacity] in power-of-two steps; parkers respect the window and
+// takers scan the full capacity.
+func TestWindowResize(t *testing.T) {
+	a := NewArrayCapacity(Config{Slots: 2}, 16, 16)
+	if a.Capacity() != 16 || a.Window() != 2 {
+		t.Fatalf("capacity=%d window=%d want 16/2", a.Capacity(), a.Window())
+	}
+	if !a.TryResize(4) || a.Window() != 4 {
+		t.Fatalf("grow to 4 failed: window=%d", a.Window())
+	}
+	if !a.TryResize(64) || a.Window() != 16 {
+		t.Fatalf("grow past capacity must clamp: window=%d", a.Window())
+	}
+	if !a.TryResize(0) || a.Window() != 1 {
+		t.Fatalf("shrink below 1 must clamp: window=%d", a.Window())
+	}
+	if !a.TryResize(3) || a.Window() != 4 {
+		t.Fatalf("non-power-of-two must round up: window=%d", a.Window())
+	}
+}
+
+// TestWindowConfinesParkers: with window 1, every park lands in slot 0
+// regardless of the random start.
+func TestWindowConfinesParkers(t *testing.T) {
+	a := NewArrayCapacity(Config{Slots: 1}, 16, 8)
+	for start := uint64(0); start < 8; start++ {
+		if a.ParkFor(start, 0, 42, 1) {
+			t.Fatal("park with no taker must time out")
+		}
+	}
+	// All eight timed-out parks cycled slot 0's tag; slots 1..7 never
+	// moved.
+	if tag(a.slots[0].state.Load()) == 0 {
+		t.Fatal("slot 0 was never used")
+	}
+	for i := 1; i < 8; i++ {
+		if a.slots[i].state.Load() != 0 {
+			t.Fatalf("slot %d touched outside the window", i)
+		}
+	}
+	if a.Timeouts() != 8 {
+		t.Fatalf("timeouts=%d want 8", a.Timeouts())
+	}
+}
+
+// TestShrinkRefusedUnderWaitingOffer: a waiting offer in the range a
+// shrink would deactivate blocks the shrink; after the offer is taken
+// the shrink succeeds. Takers find offers beyond the active window.
+func TestShrinkRefusedUnderWaitingOffer(t *testing.T) {
+	a := NewArrayCapacity(Config{Slots: 8}, 16, 8)
+	done := make(chan bool)
+	go func() {
+		// Park in slot 5 — outside the window the shrink would leave.
+		done <- a.ParkFor(5, 0, 99, 1<<24)
+	}()
+	for {
+		if _, ok := a.Peek(0, 0, true); ok {
+			break
+		}
+		runtime.Gosched()
+	}
+	if a.TryResize(2) {
+		t.Fatal("shrink over a waiting offer must be refused")
+	}
+	if a.Window() != 8 {
+		t.Fatalf("refused shrink moved the window: %d", a.Window())
+	}
+	// The offer beyond any shrunken window is still consumable.
+	v, ok := a.TryTake(0, 0, true)
+	if !ok || v != 99 {
+		t.Fatalf("take: %d %v", v, ok)
+	}
+	if !<-done {
+		t.Fatal("parker must observe the exchange")
+	}
+	if !a.TryResize(2) || a.Window() != 2 {
+		t.Fatalf("shrink after the take failed: window=%d", a.Window())
+	}
+}
+
+// TestTimeoutsDistinctFromMisses: a busy-slot collision is a miss but
+// not a timeout; an expired park is both.
+func TestTimeoutsDistinctFromMisses(t *testing.T) {
+	a := NewArrayCapacity(Config{Slots: 1}, 2, 1)
+	if a.ParkFor(0, 0, 1, 1) {
+		t.Fatal("lone park must time out")
+	}
+	_, m0 := a.Stats()
+	t0 := a.Timeouts()
+	if m0 != 1 || t0 != 1 {
+		t.Fatalf("after timeout: misses=%d timeouts=%d want 1/1", m0, t0)
+	}
+	// Occupy slot 0 by hand (claim phase), then collide.
+	st := a.slots[0].state.Load()
+	a.slots[0].state.Store(pack(tag(st)+1, phaseClaim))
+	if a.ParkFor(0, 0, 2, 1) {
+		t.Fatal("collision must fail")
+	}
+	_, m1 := a.Stats()
+	if m1 != 2 || a.Timeouts() != 1 {
+		t.Fatalf("after collision: misses=%d timeouts=%d want 2/1", m1, a.Timeouts())
+	}
+	a.slots[0].state.Store(pack(tag(st)+2, phaseEmpty))
+}

@@ -8,6 +8,13 @@ package harness
 // pending shard migrations in bounded RebalanceStep increments. The
 // maps start deliberately small, so the measured interval contains real
 // grows whose entry relocations all run through MoveN.
+//
+// Impl selects the family: LockFree is the composition-paper map;
+// Blocking is the lock-striped baseline (blocking.Map), extending the
+// Figures 2–4 lockfree-vs-blocking comparison to the keyed workload.
+// The blocking side has no MoveN analogue (a third lock would nest),
+// so fan-out moves degrade to plain two-lock keyed moves there, and
+// rebalancing happens inline under the shard locks.
 
 import (
 	"runtime"
@@ -15,6 +22,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
+	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/elim"
 	"repro/internal/hashmap"
@@ -25,6 +34,9 @@ import (
 
 // MapOptions configures one cell of the map-churn scenario.
 type MapOptions struct {
+	// Impl selects lock-free (default) or the lock-striped blocking
+	// baseline.
+	Impl     Impl
 	Threads  int
 	TotalOps int // distributed evenly over threads
 	Trials   int
@@ -44,7 +56,7 @@ type MapOptions struct {
 	// keeps the pure churn cell.
 	ReadFraction int
 	// Rebalancer adds a dedicated thread looping RebalanceStep, so
-	// migration work overlaps the measured operations.
+	// migration work overlaps the measured operations (lock-free only).
 	Rebalancer bool
 	// Zipf draws keys from a zipfian distribution over the key space
 	// instead of uniformly — the skewed cell, where a few hot keys (and
@@ -56,10 +68,17 @@ type MapOptions struct {
 	// shards; ElimSlots/ElimSpins tune the arrays.
 	Elimination          bool
 	ElimSlots, ElimSpins int
-	Contention           Contention
-	Prefill              int // entries pre-inserted per map
-	Seed                 uint64
-	Pin                  bool
+	// Adaptive enables the feedback-driven contention-management
+	// subsystem (core.Config.Adaptive) on the lock-free maps: window
+	// sizing, hot-shard elimination and rebalance pacing, sampled on
+	// operation-count epochs. AdaptEpochOps overrides the epoch length
+	// (0: package default).
+	Adaptive      bool
+	AdaptEpochOps int
+	Contention    Contention
+	Prefill       int // entries pre-inserted per map
+	Seed          uint64
+	Pin           bool
 	// ArenaCapacity overrides the runtime sizing (0 = automatic).
 	ArenaCapacity int
 }
@@ -101,6 +120,25 @@ func (o MapOptions) withDefaults() MapOptions {
 	return o
 }
 
+// AdaptAgg are per-trial means of the maps' adaptation decision
+// counters (all zero when Adaptive is off or the impl is blocking).
+type AdaptAgg struct {
+	Epochs, WindowGrows, WindowShrinks float64
+	Attaches, Detaches                 float64
+	PaceRaises, PaceDecays             float64
+}
+
+func (a *AdaptAgg) add(s adapt.Stats, trials int) {
+	f := float64(trials)
+	a.Epochs += float64(s.Epochs) / f
+	a.WindowGrows += float64(s.WindowGrows) / f
+	a.WindowShrinks += float64(s.WindowShrinks) / f
+	a.Attaches += float64(s.Attaches) / f
+	a.Detaches += float64(s.Detaches) / f
+	a.PaceRaises += float64(s.PaceRaises) / f
+	a.PaceDecays += float64(s.PaceDecays) / f
+}
+
 // MapResult aggregates the trials of one map-churn cell.
 type MapResult struct {
 	Options   MapOptions
@@ -113,6 +151,8 @@ type MapResult struct {
 	// ElimHits/ElimMisses are per-trial means of both maps' elimination
 	// counters (zero when the layer is off).
 	ElimHits, ElimMisses float64
+	// Adapt aggregates the adaptation decision counters.
+	Adapt AdaptAgg
 }
 
 // MeanMS returns the mean adjusted duration in milliseconds.
@@ -131,6 +171,7 @@ func RunMapChurn(o MapOptions) MapResult {
 		res.Steps += m.steps / float64(o.Trials)
 		res.ElimHits += m.elimHits / float64(o.Trials)
 		res.ElimMisses += m.elimMisses / float64(o.Trials)
+		res.Adapt.add(m.adapt, o.Trials)
 	}
 	res.Summary = stats.Summarize(res.SamplesNS)
 	return res
@@ -140,6 +181,108 @@ func RunMapChurn(o MapOptions) MapResult {
 type mapTrialResult struct {
 	adjNS, grows, migrated, steps float64
 	elimHits, elimMisses          float64
+	adapt                         adapt.Stats
+}
+
+// mapObjects abstracts the pair of maps (plus audit queue) so the
+// worker loop is shared between the lock-free and blocking families.
+// side selects the move/churn source (0: a→b, 1: b→a).
+type mapObjects struct {
+	insert func(t *core.Thread, side int, k, v uint64) bool
+	remove func(t *core.Thread, side int, k uint64) (uint64, bool)
+	lookup func(t *core.Thread, side int, k uint64) (uint64, bool)
+	// move performs one keyed cross-map move; fan asks for the §8
+	// MoveN fan-out into the other map plus the audit queue (lock-free
+	// only; the blocking family degrades to a plain keyed move).
+	move      func(t *core.Thread, side int, k uint64, fan bool)
+	rebalance func(t *core.Thread) bool // nil: no rebalancer support
+	collect   func(r *mapTrialResult)
+}
+
+// buildMapPair constructs the objects for one trial.
+func buildMapPair(o MapOptions, rt *core.Runtime, setup *core.Thread) mapObjects {
+	if o.Impl == Blocking {
+		ma := blocking.NewMap(setup, o.Shards, o.Buckets, o.GrowLoad)
+		mb := blocking.NewMap(setup, o.Shards, o.Buckets, o.GrowLoad)
+		pick := func(side int) (*blocking.Map, *blocking.Map) {
+			if side == 0 {
+				return ma, mb
+			}
+			return mb, ma
+		}
+		return mapObjects{
+			insert: func(t *core.Thread, side int, k, v uint64) bool {
+				src, _ := pick(side)
+				return src.Insert(t, k, v)
+			},
+			remove: func(t *core.Thread, side int, k uint64) (uint64, bool) {
+				src, _ := pick(side)
+				return src.Remove(t, k)
+			},
+			lookup: func(t *core.Thread, side int, k uint64) (uint64, bool) {
+				src, _ := pick(side)
+				return src.Contains(t, k)
+			},
+			move: func(t *core.Thread, side int, k uint64, _ bool) {
+				src, dst := pick(side)
+				src.MoveMap(t, dst, k, k)
+			},
+			collect: func(*mapTrialResult) {},
+		}
+	}
+	ma := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
+	mb := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
+	audit := msqueue.New(setup)
+	pick := func(side int) (*hashmap.Map, *hashmap.Map) {
+		if side == 0 {
+			return ma, mb
+		}
+		return mb, ma
+	}
+	return mapObjects{
+		insert: func(t *core.Thread, side int, k, v uint64) bool {
+			src, _ := pick(side)
+			return src.Insert(t, k, v)
+		},
+		remove: func(t *core.Thread, side int, k uint64) (uint64, bool) {
+			src, _ := pick(side)
+			return src.Remove(t, k)
+		},
+		lookup: func(t *core.Thread, side int, k uint64) (uint64, bool) {
+			src, _ := pick(side)
+			return src.Contains(t, k)
+		},
+		move: func(t *core.Thread, side int, k uint64, fan bool) {
+			src, dst := pick(side)
+			if fan {
+				// §8 fan-out: the entry leaves src and appears in dst
+				// AND the audit queue in one atomic step.
+				fanDst := [2]core.Inserter{dst, audit}
+				tkeys := [2]uint64{k, 0}
+				t.MoveN(src, fanDst[:], k, tkeys[:])
+				// Keep the audit queue bounded.
+				audit.Dequeue(t)
+				return
+			}
+			t.Move(src, dst, k, k)
+		},
+		rebalance: func(t *core.Thread) bool {
+			return ma.RebalanceStep(t) || mb.RebalanceStep(t)
+		},
+		collect: func(r *mapTrialResult) {
+			ga, miga, sa := ma.Stats()
+			gb, migb, sb := mb.Stats()
+			eha, ema := ma.ElimStats()
+			ehb, emb := mb.ElimStats()
+			r.grows = float64(ga + gb)
+			r.migrated = float64(miga + migb)
+			r.steps = float64(sa + sb)
+			r.elimHits = float64(eha + ehb)
+			r.elimMisses = float64(ema + emb)
+			r.adapt = ma.AdaptStats()
+			r.adapt.Add(mb.AdaptStats())
+		},
+	}
 }
 
 func runMapTrial(o MapOptions, trial uint64) mapTrialResult {
@@ -155,11 +298,13 @@ func runMapTrial(o MapOptions, trial uint64) mapTrialResult {
 			Slots:  o.ElimSlots,
 			Spins:  o.ElimSpins,
 		},
+		Adaptive: adapt.Config{
+			Enable:   o.Adaptive,
+			EpochOps: o.AdaptEpochOps,
+		},
 	})
 	setup := rt.RegisterThread()
-	ma := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
-	mb := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
-	audit := msqueue.New(setup)
+	objs := buildMapPair(o, rt, setup)
 	seedRng := xrand.New(o.Seed + trial*1000003)
 	keys := uint64(o.Keys)
 	// nextKey samples the configured key distribution: uniform, or
@@ -176,19 +321,19 @@ func runMapTrial(o MapOptions, trial uint64) mapTrialResult {
 		return rng.Uint64() % keys
 	}
 	for i := 0; i < o.Prefill; i++ {
-		ma.Insert(setup, nextKey(seedRng), seedRng.Uint64())
-		mb.Insert(setup, nextKey(seedRng), seedRng.Uint64())
+		objs.insert(setup, 0, nextKey(seedRng), seedRng.Uint64())
+		objs.insert(setup, 1, nextKey(seedRng), seedRng.Uint64())
 	}
 
 	var stop atomic.Bool
 	var rwg sync.WaitGroup
-	if o.Rebalancer {
+	if o.Rebalancer && objs.rebalance != nil {
 		reb := rt.RegisterThread()
 		rwg.Add(1)
 		go func() {
 			defer rwg.Done()
 			for !stop.Load() {
-				if !ma.RebalanceStep(reb) && !mb.RebalanceStep(reb) {
+				if !objs.rebalance(reb) {
 					runtime.Gosched()
 				}
 			}
@@ -214,39 +359,28 @@ func runMapTrial(o MapOptions, trial uint64) mapTrialResult {
 			mean := o.Contention.workMean()
 			sd := mean / workStddevFraction
 			var work float64
-			fan := [2]core.Inserter{}
-			tkeys := [2]uint64{}
 			start.Wait()
 			t0 := time.Now()
 			for i := 0; i < perThread; i++ {
 				k := nextKey(rng)
-				src, dst := ma, mb
+				side := 0
 				if rng.Uint64()&1 == 0 {
-					src, dst = mb, ma
+					side = 1
 				}
 				switch {
 				case o.ReadFraction > 0 && int(rng.Uint64()%100) < o.ReadFraction:
-					src.Contains(th, k)
+					objs.lookup(th, side, k)
 				case int(rng.Uint64()%100) < o.MovePercent:
-					if int(rng.Uint64()%100) < o.FanPercent {
-						// §8 fan-out: the entry leaves src and appears in
-						// dst AND the audit queue in one atomic step.
-						fan[0], fan[1] = dst, audit
-						tkeys[0], tkeys[1] = k, 0
-						th.MoveN(src, fan[:], k, tkeys[:])
-						// Keep the audit queue bounded.
-						audit.Dequeue(th)
-					} else {
-						th.Move(src, dst, k, k)
-					}
+					fan := int(rng.Uint64()%100) < o.FanPercent
+					objs.move(th, side, k, fan)
 				default:
 					switch rng.Uint64() % 3 {
 					case 0:
-						src.Insert(th, k, rng.Uint64())
+						objs.insert(th, side, k, rng.Uint64())
 					case 1:
-						src.Remove(th, k)
+						objs.remove(th, side, k)
 					default:
-						src.Contains(th, k)
+						objs.lookup(th, side, k)
 					}
 				}
 				if mean > 0 {
@@ -276,16 +410,8 @@ func runMapTrial(o MapOptions, trial uint64) mapTrialResult {
 	if adj < 0 {
 		adj = 0
 	}
-	ga, miga, sa := ma.Stats()
-	gb, migb, sb := mb.Stats()
-	eha, ema := ma.ElimStats()
-	ehb, emb := mb.ElimStats()
-	return mapTrialResult{
-		adjNS:      adj,
-		grows:      float64(ga + gb),
-		migrated:   float64(miga + migb),
-		steps:      float64(sa + sb),
-		elimHits:   float64(eha + ehb),
-		elimMisses: float64(ema + emb),
-	}
+	var res mapTrialResult
+	res.adjNS = adj
+	objs.collect(&res)
+	return res
 }

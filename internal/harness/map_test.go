@@ -75,3 +75,42 @@ func TestRunMapChurnElimSmoke(t *testing.T) {
 	}
 	t.Logf("elim cell: hits=%.1f misses=%.1f", r.ElimHits, r.ElimMisses)
 }
+
+// TestRunMapChurnBlockingSmoke: the lock-striped blocking baseline
+// runs the same keyed cell (fan-outs degrade to plain keyed moves).
+func TestRunMapChurnBlockingSmoke(t *testing.T) {
+	r := RunMapChurn(MapOptions{
+		Impl:     Blocking,
+		Threads:  2,
+		TotalOps: 20000,
+		Trials:   2,
+		Keys:     512,
+	})
+	if len(r.SamplesNS) != 2 || r.Summary.Mean <= 0 {
+		t.Fatalf("bad result: %+v", r.Summary)
+	}
+	if r.Grows != 0 || r.Migrated != 0 {
+		t.Fatalf("blocking cell reported lock-free grow stats: %+v", r)
+	}
+}
+
+// TestRunMapChurnAdaptiveSmoke: the adaptive cell completes and its
+// controllers sample epochs (tiny epochs so 20k ops cross many).
+func TestRunMapChurnAdaptiveSmoke(t *testing.T) {
+	r := RunMapChurn(MapOptions{
+		Threads:       2,
+		TotalOps:      20000,
+		Trials:        1,
+		Keys:          256,
+		Adaptive:      true,
+		AdaptEpochOps: 256,
+	})
+	if len(r.SamplesNS) != 1 || r.Summary.Mean <= 0 {
+		t.Fatalf("bad result: %+v", r.Summary)
+	}
+	if r.Adapt.Epochs == 0 {
+		t.Fatal("adaptive cell sampled no epochs")
+	}
+	t.Logf("adaptive cell: epochs=%.1f grows=%.1f attaches=%.1f window±=%.1f/%.1f",
+		r.Adapt.Epochs, r.Grows, r.Adapt.Attaches, r.Adapt.WindowGrows, r.Adapt.WindowShrinks)
+}

@@ -1,0 +1,324 @@
+package harness
+
+// This file adds the YCSB-style mixed-tenant cell: several tenants,
+// each owning a private key range of the shared maps and running its
+// own read/insert/remove/move mix, all measured in one interval. The
+// mixes follow the classic YCSB workload letters (update mapped onto
+// insert/remove churn, plus a cross-map move share this repository's
+// composition focus adds):
+//
+//	A-like: 50% reads, 20% inserts, 20% removes, 10% moves
+//	B-like: 90% reads,  4% inserts,  4% removes,  2% moves
+//	C-like: 100% reads
+//
+// Tenants share the two maps (and their shards), so a churn-heavy
+// tenant's contention lands on the same structures a read-mostly
+// tenant is scanning — the scenario the adaptive subsystem's per-shard
+// controllers are built for: only the shards the hot tenant hammers
+// attach elimination or split early, while the cold tenant's shards
+// stay on the fast path.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/elim"
+	"repro/internal/hashmap"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Tenant is one workload class in the mixed-tenant cell. Percentages
+// must sum to at most 100; the remainder becomes reads.
+type Tenant struct {
+	Name string
+	// Keys is the size of this tenant's private key range (ranges are
+	// laid out consecutively over the shared maps).
+	Keys int
+	// InsertPct/RemovePct/MovePct are the tenant's operation shares;
+	// everything else is a read.
+	InsertPct, RemovePct, MovePct int
+	// Zipf skews this tenant's key choice inside its range.
+	Zipf      bool
+	ZipfTheta float64
+}
+
+// TenantsABC returns the standard three-tenant preset: one A-like
+// churner, one B-like mostly-reader, one C-like pure reader, each over
+// keys keys.
+func TenantsABC(keys int) []Tenant {
+	return []Tenant{
+		{Name: "A", Keys: keys, InsertPct: 20, RemovePct: 20, MovePct: 10},
+		{Name: "B", Keys: keys, InsertPct: 4, RemovePct: 4, MovePct: 2},
+		{Name: "C", Keys: keys},
+	}
+}
+
+// YCSBOptions configures one mixed-tenant cell. Threads are assigned
+// to tenants round-robin (thread w serves Tenants[w % len]).
+type YCSBOptions struct {
+	Threads  int
+	TotalOps int // distributed evenly over threads
+	Trials   int
+	Tenants  []Tenant
+	// Shards/Buckets/GrowLoad shape both maps (defaults as in
+	// MapOptions).
+	Shards, Buckets, GrowLoad int
+	// Elimination/Adaptive configure the contention layers exactly as
+	// in MapOptions.
+	Elimination          bool
+	ElimSlots, ElimSpins int
+	Adaptive             bool
+	AdaptEpochOps        int
+	Contention           Contention
+	// PrefillFraction of each tenant's range is pre-inserted into each
+	// map (percent; default 50).
+	PrefillFraction int
+	Seed            uint64
+	Pin             bool
+	ArenaCapacity   int
+}
+
+func (o YCSBOptions) withDefaults() YCSBOptions {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.TotalOps <= 0 {
+		o.TotalOps = 1_000_000
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if len(o.Tenants) == 0 {
+		o.Tenants = TenantsABC(2048)
+	}
+	for i := range o.Tenants {
+		if o.Tenants[i].Keys <= 0 {
+			o.Tenants[i].Keys = 2048
+		}
+	}
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 2
+	}
+	if o.GrowLoad <= 0 {
+		o.GrowLoad = 4
+	}
+	if o.PrefillFraction <= 0 {
+		o.PrefillFraction = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	return o
+}
+
+// Name renders the cell identity.
+func (o YCSBOptions) Name() string {
+	s := "ycsb"
+	for _, tn := range o.Tenants {
+		s += "-" + tn.Name
+	}
+	if o.Adaptive {
+		s += "+adapt"
+	}
+	if o.Elimination {
+		s += "+elim"
+	}
+	return fmt.Sprintf("%s/t=%d", s, o.Threads)
+}
+
+// TenantOps counts one tenant's issued operations per trial.
+type TenantOps struct {
+	Name                           string
+	Reads, Inserts, Removes, Moves uint64
+}
+
+// YCSBResult aggregates the trials of one mixed-tenant cell.
+type YCSBResult struct {
+	Options   YCSBOptions
+	SamplesNS []float64
+	Summary   stats.Summary
+	Ops       int
+	// PerTenant sums each tenant's issued operations over all trials.
+	PerTenant []TenantOps
+	// Grows/Migrated and the contention-layer counters mirror
+	// MapResult.
+	Grows, Migrated      float64
+	ElimHits, ElimMisses float64
+	Adapt                AdaptAgg
+}
+
+// MeanMS returns the mean adjusted duration in milliseconds.
+func (r YCSBResult) MeanMS() float64 { return r.Summary.Mean / 1e6 }
+
+// RunYCSB executes every trial of one mixed-tenant cell.
+func RunYCSB(o YCSBOptions) YCSBResult {
+	o = o.withDefaults()
+	Calibrate()
+	res := YCSBResult{Options: o, Ops: o.TotalOps}
+	res.PerTenant = make([]TenantOps, len(o.Tenants))
+	for i := range o.Tenants {
+		res.PerTenant[i].Name = o.Tenants[i].Name
+	}
+	for trial := 0; trial < o.Trials; trial++ {
+		m := runYCSBTrial(o, uint64(trial), res.PerTenant)
+		res.SamplesNS = append(res.SamplesNS, m.adjNS)
+		res.Grows += m.grows / float64(o.Trials)
+		res.Migrated += m.migrated / float64(o.Trials)
+		res.ElimHits += m.elimHits / float64(o.Trials)
+		res.ElimMisses += m.elimMisses / float64(o.Trials)
+		res.Adapt.add(m.adapt, o.Trials)
+	}
+	res.Summary = stats.Summarize(res.SamplesNS)
+	return res
+}
+
+func runYCSBTrial(o YCSBOptions, trial uint64, perTenant []TenantOps) mapTrialResult {
+	totalKeys := 0
+	for _, tn := range o.Tenants {
+		totalKeys += tn.Keys
+	}
+	arenaCap := o.ArenaCapacity
+	if arenaCap == 0 {
+		arenaCap = totalKeys*4 + o.TotalOps + (1 << 16)
+	}
+	rt := core.NewRuntime(core.Config{
+		MaxThreads:    o.Threads + 1,
+		ArenaCapacity: arenaCap,
+		Elimination: elim.Config{
+			Enable: o.Elimination,
+			Slots:  o.ElimSlots,
+			Spins:  o.ElimSpins,
+		},
+		Adaptive: adapt.Config{
+			Enable:   o.Adaptive,
+			EpochOps: o.AdaptEpochOps,
+		},
+	})
+	setup := rt.RegisterThread()
+	ma := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
+	mb := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
+
+	// Lay the tenant ranges out consecutively and prefill each.
+	base := make([]uint64, len(o.Tenants))
+	seedRng := xrand.New(o.Seed + trial*1000003)
+	var lo uint64
+	for i, tn := range o.Tenants {
+		base[i] = lo
+		pre := tn.Keys * o.PrefillFraction / 100
+		for k := 0; k < pre; k++ {
+			key := lo + uint64(k)
+			ma.Insert(setup, key, seedRng.Uint64())
+			mb.Insert(setup, key, seedRng.Uint64())
+		}
+		lo += uint64(tn.Keys)
+	}
+
+	perThread := o.TotalOps / o.Threads
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(o.Threads)
+	elapsed := make([]time.Duration, o.Threads)
+	workNS := make([]float64, o.Threads)
+	counts := make([]TenantOps, o.Threads)
+
+	for w := 0; w < o.Threads; w++ {
+		th := rt.RegisterThread()
+		tn := o.Tenants[w%len(o.Tenants)]
+		tbase := base[w%len(o.Tenants)]
+		go func(w int, th *core.Thread, tn Tenant, tbase uint64) {
+			defer done.Done()
+			if o.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			rng := xrand.New(o.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15 ^ trial)
+			var zipf *xrand.Zipf
+			if tn.Zipf {
+				zipf = xrand.NewZipf(uint64(tn.Keys), tn.ZipfTheta)
+			}
+			nextKey := func() uint64 {
+				if zipf != nil {
+					return tbase + zipf.Next(rng)
+				}
+				return tbase + rng.Uint64()%uint64(tn.Keys)
+			}
+			mean := o.Contention.workMean()
+			sd := mean / workStddevFraction
+			var work float64
+			c := &counts[w]
+			start.Wait()
+			t0 := time.Now()
+			for i := 0; i < perThread; i++ {
+				k := nextKey()
+				src, dst := ma, mb
+				if rng.Uint64()&1 == 0 {
+					src, dst = mb, ma
+				}
+				p := int(rng.Uint64() % 100)
+				switch {
+				case p < tn.MovePct:
+					th.Move(src, dst, k, k)
+					c.Moves++
+				case p < tn.MovePct+tn.InsertPct:
+					src.Insert(th, k, rng.Uint64())
+					c.Inserts++
+				case p < tn.MovePct+tn.InsertPct+tn.RemovePct:
+					src.Remove(th, k)
+					c.Removes++
+				default:
+					src.Contains(th, k)
+					c.Reads++
+				}
+				if mean > 0 {
+					w := rng.NormDuration(mean, sd)
+					SpinFor(w)
+					work += w
+				}
+			}
+			elapsed[w] = time.Since(t0)
+			workNS[w] = work
+		}(w, th, tn, tbase)
+	}
+	start.Done()
+	done.Wait()
+
+	var wall time.Duration
+	var totalWork float64
+	for w := 0; w < o.Threads; w++ {
+		if elapsed[w] > wall {
+			wall = elapsed[w]
+		}
+		totalWork += workNS[w]
+		pt := &perTenant[w%len(o.Tenants)]
+		pt.Reads += counts[w].Reads
+		pt.Inserts += counts[w].Inserts
+		pt.Removes += counts[w].Removes
+		pt.Moves += counts[w].Moves
+	}
+	adj := float64(wall.Nanoseconds()) - totalWork/float64(o.Threads)
+	if adj < 0 {
+		adj = 0
+	}
+	ga, miga, _ := ma.Stats()
+	gb, migb, _ := mb.Stats()
+	eha, ema := ma.ElimStats()
+	ehb, emb := mb.ElimStats()
+	ast := ma.AdaptStats()
+	ast.Add(mb.AdaptStats())
+	return mapTrialResult{
+		adjNS:      adj,
+		grows:      float64(ga + gb),
+		migrated:   float64(miga + migb),
+		elimHits:   float64(eha + ehb),
+		elimMisses: float64(ema + emb),
+		adapt:      ast,
+	}
+}

@@ -1,0 +1,62 @@
+package harness
+
+import "testing"
+
+func TestYCSBDefaults(t *testing.T) {
+	o := YCSBOptions{}.withDefaults()
+	if len(o.Tenants) != 3 || o.Tenants[0].Name != "A" || o.Tenants[2].Name != "C" {
+		t.Fatalf("default tenants: %+v", o.Tenants)
+	}
+	if o.PrefillFraction != 50 || o.GrowLoad != 4 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+// TestRunYCSBSmoke runs the ABC preset end to end: every tenant issues
+// operations, the C tenant issues only reads, and the churn tenants
+// grow the maps.
+func TestRunYCSBSmoke(t *testing.T) {
+	r := RunYCSB(YCSBOptions{
+		Threads:  3,
+		TotalOps: 30000,
+		Trials:   2,
+		Tenants:  TenantsABC(256),
+	})
+	if len(r.SamplesNS) != 2 || r.Summary.Mean <= 0 {
+		t.Fatalf("bad result: %+v", r.Summary)
+	}
+	byName := map[string]TenantOps{}
+	for _, pt := range r.PerTenant {
+		byName[pt.Name] = pt
+	}
+	a, c := byName["A"], byName["C"]
+	if a.Inserts == 0 || a.Removes == 0 || a.Moves == 0 {
+		t.Fatalf("A tenant issued no churn: %+v", a)
+	}
+	if c.Inserts != 0 || c.Removes != 0 || c.Moves != 0 {
+		t.Fatalf("C tenant issued writes: %+v", c)
+	}
+	if c.Reads == 0 {
+		t.Fatalf("C tenant idle: %+v", c)
+	}
+	if r.Grows == 0 {
+		t.Fatal("tenant churn never grew the maps")
+	}
+}
+
+// TestRunYCSBAdaptiveSmoke: the adaptive mixed-tenant cell samples
+// epochs while the tenants run.
+func TestRunYCSBAdaptiveSmoke(t *testing.T) {
+	r := RunYCSB(YCSBOptions{
+		Threads:       3,
+		TotalOps:      30000,
+		Trials:        1,
+		Tenants:       TenantsABC(256),
+		Adaptive:      true,
+		AdaptEpochOps: 256,
+	})
+	if r.Adapt.Epochs == 0 {
+		t.Fatal("adaptive mixed-tenant cell sampled no epochs")
+	}
+	t.Logf("ycsb adaptive: epochs=%.1f attaches=%.1f", r.Adapt.Epochs, r.Adapt.Attaches)
+}

@@ -1,0 +1,223 @@
+package hashmap
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/elim"
+)
+
+// newAdaptRT builds a runtime with adaptation on and a generous
+// parking window (single-CPU hosts need the partner scheduled inside
+// it). Epochs are kept enormous so tests drive the controllers
+// explicitly and deterministically.
+func newAdaptRT(threads int, acfg adapt.Config) *core.Runtime {
+	acfg.Enable = true
+	if acfg.EpochOps == 0 {
+		acfg.EpochOps = 1 << 30
+	}
+	return core.NewRuntime(core.Config{
+		MaxThreads:    threads,
+		ArenaCapacity: 1 << 18,
+		DescCapacity:  1 << 14,
+		Elimination:   elim.Config{Slots: 2, Spins: 1 << 22},
+		Adaptive:      acfg,
+	})
+}
+
+// TestAdaptMapDisabledByDefault: no controllers without the knob, and
+// AdaptStats stays zero.
+func TestAdaptMapDisabledByDefault(t *testing.T) {
+	rt := newRT(1)
+	th := rt.RegisterThread()
+	m := NewSharded(th, 2, 2, 0)
+	for i := range m.shards {
+		if m.shards[i].ctrl != nil {
+			t.Fatal("shard got a controller without the knob")
+		}
+	}
+	if st := m.AdaptStats(); st != (adapt.Stats{}) {
+		t.Fatalf("AdaptStats nonzero when disabled: %+v", st)
+	}
+}
+
+// TestAdaptMapShardsCarryArrays: adaptation alone (no elimination
+// knob) attaches per-shard arrays and controllers.
+func TestAdaptMapShardsCarryArrays(t *testing.T) {
+	rt := newAdaptRT(2, adapt.Config{})
+	th := rt.RegisterThread()
+	m := NewSharded(th, 2, 2, 0)
+	for i := range m.shards {
+		if m.shards[i].elim == nil || m.shards[i].ctrl == nil {
+			t.Fatalf("shard %d missing array or controller", i)
+		}
+		if got := m.shards[i].elim.Capacity(); got != adapt.DefaultMaxWindow {
+			t.Fatalf("shard %d capacity=%d want %d", i, got, adapt.DefaultMaxWindow)
+		}
+	}
+}
+
+// TestHotShardAttachDetachHysteresis drives one shard's controller
+// through the map-visible gate: retry pressure past AttachRetries
+// turns hot-shard elimination on; it stays on through the hysteresis
+// band and only detaches after DetachEpochs consecutive calm epochs.
+func TestHotShardAttachDetachHysteresis(t *testing.T) {
+	rt := newAdaptRT(2, adapt.Config{
+		AttachRetries: 10,
+		DetachRetries: 2,
+		DetachEpochs:  2,
+	})
+	th := rt.RegisterThread()
+	m := NewSharded(th, 1, 2, 1<<30)
+	s := &m.shards[0]
+
+	if m.hotElim(th, s) {
+		t.Fatal("shard hot before any signal")
+	}
+	var r uint64
+	epoch := func(d uint64) { r += d; s.ctrl.Apply(adapt.Sample{Retries: r}) }
+
+	epoch(5) // below attach
+	if m.hotElim(th, s) {
+		t.Fatal("attached below AttachRetries")
+	}
+	epoch(10) // attach
+	if !m.hotElim(th, s) {
+		t.Fatal("did not attach at AttachRetries")
+	}
+	epoch(1) // calm 1 of 2
+	epoch(5) // mid-band: resets the calm streak, holds hot
+	if !m.hotElim(th, s) {
+		t.Fatal("mid-band epoch detached")
+	}
+	epoch(1) // calm 1 of 2 (again)
+	if !m.hotElim(th, s) {
+		t.Fatal("detached after one calm epoch")
+	}
+	epoch(1) // calm 2 of 2: detach
+	if m.hotElim(th, s) {
+		t.Fatal("did not detach after DetachEpochs calm epochs")
+	}
+	st := m.AdaptStats()
+	if st.Attaches != 1 || st.Detaches != 1 {
+		t.Fatalf("attaches=%d detaches=%d want 1/1", st.Attaches, st.Detaches)
+	}
+}
+
+// TestHotUnsealedShardEliminates is the acceptance probe for behavior
+// (b): a shard marked hot by its controller — with NO grow in flight,
+// ever (grow threshold 2^30) — routes a loser insert's parked offer to
+// a same-key remove through the elimination array: the hit counter
+// moves while the shard stays unsealed. The offer is parked through
+// the same call a budget-exhausted insert makes (the deterministic
+// stand-in for a lost CAS race, as in the stack's elimination tests);
+// the remove side runs the full exported path, absence witness
+// included.
+func TestHotUnsealedShardEliminates(t *testing.T) {
+	rt := newAdaptRT(3, adapt.Config{AttachRetries: 1})
+	th := rt.RegisterThread()
+	th2 := rt.RegisterThread()
+	m := NewSharded(th, 1, 2, 1<<30)
+	s := &m.shards[0]
+
+	// One epoch of pressure: hot.
+	s.ctrl.Apply(adapt.Sample{Retries: 1})
+	if !m.hotElim(th, s) {
+		t.Fatal("shard not hot")
+	}
+	if s.cur.Load().sealed.Load() {
+		t.Fatal("shard sealed; the test wants an unsealed hot shard")
+	}
+
+	parked := make(chan bool)
+	go func() {
+		// What Insert does when InsertBounded comes back undecided on a
+		// hot shard.
+		parked <- s.elim.Park(th2.Rng.Uint64(), 7, 77)
+	}()
+
+	var v uint64
+	var ok bool
+	for i := 0; i < 1<<24 && !ok; i++ {
+		// A remove of a different absent key must never consume the
+		// parked offer (key matching + absence witness).
+		if w, wok := m.Remove(th, 8); wok {
+			t.Fatalf("remove(8) consumed a foreign offer: %d", w)
+		}
+		if v, ok = m.Remove(th, 7); !ok {
+			runtime.Gosched()
+		}
+	}
+	if !ok || v != 77 {
+		t.Fatalf("remove(7): %d %v", v, ok)
+	}
+	if !<-parked {
+		t.Fatal("parker must observe the exchange")
+	}
+	hits, _ := m.ElimStats()
+	if hits < 2 {
+		t.Fatalf("hits=%d want >=2", hits)
+	}
+	if grows, _, _ := m.Stats(); grows != 0 {
+		t.Fatalf("grows=%d want 0 — the whole point is no grow in flight", grows)
+	}
+	if s.cur.Load().sealed.Load() {
+		t.Fatal("shard sealed itself during the test")
+	}
+	if n := m.Len(th); n != 0 {
+		t.Fatalf("len=%d want 0 (eliminated pair must net zero)", n)
+	}
+}
+
+// TestColdShardRemoveMissSkipsArray: on an unsealed, not-hot shard a
+// remove miss must not scan the array (no misses charged).
+func TestColdShardRemoveMissSkipsArray(t *testing.T) {
+	rt := newAdaptRT(2, adapt.Config{})
+	th := rt.RegisterThread()
+	m := NewSharded(th, 1, 2, 1<<30)
+	if _, ok := m.Remove(th, 3); ok {
+		t.Fatal("remove of absent key succeeded")
+	}
+	if _, misses := m.ElimStats(); misses != 0 {
+		t.Fatalf("cold shard scanned the array: misses=%d", misses)
+	}
+}
+
+// TestPacingLowersGrowThreshold: a paced shard (LoadShift > 0) seals
+// at a lower effective load than its configured growLoad — behavior
+// (c), rebalance pacing, observed through real inserts.
+func TestPacingLowersGrowThreshold(t *testing.T) {
+	mk := func(shift int) *Map {
+		rt := newAdaptRT(2, adapt.Config{
+			PaceRetries:  10,
+			PaceEpochs:   1,
+			MaxLoadShift: 3,
+		})
+		th := rt.RegisterThread()
+		// 1 shard × 2 buckets, grow at mean load 4 → seal when count
+		// exceeds 8.
+		m := NewSharded(th, 1, 2, 4)
+		var r uint64
+		for i := 0; i < shift; i++ {
+			r += 100
+			m.shards[0].ctrl.Apply(adapt.Sample{Retries: r})
+		}
+		if got := m.shards[0].ctrl.LoadShift(); got != shift {
+			t.Fatalf("LoadShift=%d want %d", got, shift)
+		}
+		for k := uint64(1); k <= 7; k++ {
+			m.Insert(th, k, k)
+		}
+		return m
+	}
+	// Unpaced: 7 entries stay under the threshold of 8 — no grow.
+	if grows, _, _ := mk(0).Stats(); grows != 0 {
+		t.Fatalf("unpaced map grew at load 7: grows=%d", grows)
+	}
+	// Paced by two notches: effective load 2, seal past 4 — grows.
+	if grows, _, _ := mk(2).Stats(); grows == 0 {
+		t.Fatal("paced map did not grow earlier")
+	}
+}

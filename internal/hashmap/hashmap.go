@@ -70,12 +70,32 @@
 // at the walk — insert of an absent key immediately followed by its
 // remove — a valid map history no matter what concurrent inserts do.
 // Threads inside a Move/MoveN bypass the array on both sides.
+//
+// # Adaptation
+//
+// When the runtime enables the adaptive subsystem (core.Config.
+// Adaptive), every shard additionally owns an adapt.Controller fed
+// from the operation path: inserts, removes and lookups tick its epoch
+// clock, and the thread that crosses an epoch boundary samples the
+// shard's signals (bucket CAS retries summed over the table chain, the
+// elimination array's hit/miss/timeout counters) and applies three
+// decisions. The array's active window resizes with traffic; a shard
+// whose retry rate crosses the attach threshold becomes *hot* — its
+// inserts switch to a bounded retry budget and route contention losers
+// to the elimination array even though no grow is in flight, and its
+// removes consult the array on a chain miss (same absence-witness
+// protocol as mid-grow) — until the hysteresis band cools; and
+// sustained retry pressure lowers the shard's effective grow-load
+// threshold so hot shards split earlier. None of this moves a
+// linearization point, and threads inside a Move/MoveN both skip the
+// bounded-budget path and keep the full elimination bypass.
 package hashmap
 
 import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/elim"
 	"repro/internal/harrislist"
@@ -105,12 +125,20 @@ type Map struct {
 
 var _ core.MoveReady = (*Map)(nil)
 
+// hotRetryBudget is the bounded insert's retry allowance on a hot
+// shard: after this many additional lost linearization CASes the
+// insert is a contention loser and routes to the elimination array.
+const hotRetryBudget = 1
+
 // shard is one partition: a chain of tables plus its element counter.
 type shard struct {
 	cur   atomic.Pointer[table] // oldest undrained table; chain via next
 	count atomic.Int64
 	elim  *elim.Array // per-shard elimination array, nil when disabled
-	_     pad.Line
+	// ctrl is the shard's adaptive controller (nil when
+	// core.Config.Adaptive is off); its presence implies elim != nil.
+	ctrl *adapt.Controller
+	_    pad.Line
 }
 
 // table is one bucket array generation of a shard.
@@ -128,24 +156,15 @@ func (tb *table) bucket(h uint64, shardBits uint) *harrislist.List {
 	return tb.buckets[(h>>shardBits)&tb.mask]
 }
 
-// ceilPow2 rounds n up to a power of two, minimum 1.
-func ceilPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
-	}
-	return p
-}
-
 // New creates a map with the given total initial bucket count spread
 // over DefaultShards shards (fewer when buckets is smaller) and the
 // default grow threshold.
 func New(t *core.Thread, buckets int) *Map {
 	shards := DefaultShards
-	if b := ceilPow2(buckets); b < shards {
+	if b := pad.CeilPow2(buckets); b < shards {
 		shards = b
 	}
-	per := ceilPow2((buckets + shards - 1) / shards)
+	per := pad.CeilPow2((buckets + shards - 1) / shards)
 	return NewSharded(t, shards, per, DefaultGrowLoad)
 }
 
@@ -154,7 +173,7 @@ func New(t *core.Thread, buckets int) *Map {
 // entries-per-bucket load at which a shard grows (<= 0 selects
 // DefaultGrowLoad).
 func NewSharded(t *core.Thread, shards, bucketsPerShard, growLoad int) *Map {
-	ns := ceilPow2(shards)
+	ns := pad.CeilPow2(shards)
 	if growLoad <= 0 {
 		growLoad = DefaultGrowLoad
 	}
@@ -168,14 +187,25 @@ func NewSharded(t *core.Thread, shards, bucketsPerShard, growLoad int) *Map {
 		m.shardBits++
 		ns >>= 1
 	}
-	per := ceilPow2(bucketsPerShard)
-	ecfg := t.Runtime().Elimination()
+	per := pad.CeilPow2(bucketsPerShard)
+	rt := t.Runtime()
+	ecfg := rt.Elimination()
+	acfg := rt.Adaptive()
 	for i := range m.shards {
 		m.shards[i].cur.Store(m.newTable(t, per))
-		if ecfg.Enable {
+		switch {
+		case acfg.Enable:
+			// Adaptive shards always carry an array (hot-shard
+			// elimination needs the mechanism even when the static
+			// layer is off) with physical capacity for the whole
+			// window range the controller may request.
+			ctrl := rt.NewController()
+			m.shards[i].ctrl = ctrl
+			m.shards[i].elim = elim.NewArrayCapacity(ecfg, rt.MaxThreads(), ctrl.Config().MaxWindow)
+		case ecfg.Enable:
 			// Per-shard arrays: contention concentrates on hot shards,
 			// and slot scans stay within one shard's keys.
-			m.shards[i].elim = elim.NewArray(ecfg, t.Runtime().MaxThreads())
+			m.shards[i].elim = elim.NewArray(ecfg, rt.MaxThreads())
 		}
 	}
 	return m
@@ -217,6 +247,7 @@ func (m *Map) shard(h uint64) *shard { return &m.shards[h&m.shardMask] }
 func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
 	h := hash(key)
 	s := m.shard(h)
+	m.adaptTick(t, s)
 	for {
 		tab := s.cur.Load()
 		if tab.sealed.Load() {
@@ -246,17 +277,83 @@ func (m *Map) Insert(t *core.Thread, key, val uint64) bool {
 			tab.ins.Add(-1)
 			continue // sealed branch above handles both cases
 		}
-		ok := tab.bucket(h, m.shardBits).Insert(t, key, val)
+		b := tab.bucket(h, m.shardBits)
+		var ok, done bool
+		if m.hotElim(t, s) {
+			// Hot shard: a bounded retry budget instead of an unbounded
+			// hammer; an undecided insert is a contention loser.
+			ok, done = b.InsertBounded(t, key, val, hotRetryBudget)
+		} else {
+			ok, done = b.Insert(t, key, val), true
+		}
 		tab.ins.Add(-1)
+		if !done {
+			// Route the loser to the shard's elimination array — with
+			// the insert-quiescence announcement already withdrawn, so
+			// a parked offer never delays a grow. A concurrent same-key
+			// remove takes the offer and completes both operations (the
+			// pair nets zero on the shard count, like every eliminated
+			// pair); a timeout falls back to the normal path.
+			if s.elim.Park(t.Rng.Uint64(), key, val) {
+				return true
+			}
+			continue
+		}
 		if ok {
 			n := s.count.Add(1)
-			if !t.MoveInFlight() && n > int64(len(tab.buckets))*m.growLoad &&
+			if !t.MoveInFlight() && n > int64(len(tab.buckets))*m.effGrowLoad(s) &&
 				tab.sealed.CompareAndSwap(false, true) {
 				m.grows.Add(1)
 				m.helpGrow(t, s, tab)
 			}
 		}
 		return ok
+	}
+}
+
+// hotElim reports whether this shard is currently routing contention
+// losers to its elimination array: the controller's attach decision,
+// gated — like every elimination path — on the thread not being inside
+// a move (a move's linearization must go through its descriptor).
+func (m *Map) hotElim(t *core.Thread, s *shard) bool {
+	return s.ctrl != nil && s.ctrl.ElimActive() && !t.MoveInFlight()
+}
+
+// effGrowLoad is the shard's effective grow-load threshold: the
+// configured mean entries-per-bucket minus the controller's pacing
+// shift (floored at one), so sustainedly contended shards split
+// earlier than merely full ones.
+func (m *Map) effGrowLoad(s *shard) int64 {
+	load := m.growLoad
+	if s.ctrl != nil {
+		if load -= int64(s.ctrl.LoadShift()); load < 1 {
+			load = 1
+		}
+	}
+	return load
+}
+
+// adaptTick drives the shard's controller from the operation path; the
+// winning thread samples the shard's signals and applies the window
+// decision. The retry sum walks the live table chain — the expensive
+// gather runs once per epoch, never on the hot path — and regresses
+// when a grow retires a table, which the controller clamps to zero.
+func (m *Map) adaptTick(t *core.Thread, s *shard) {
+	if !t.AdaptTick(s.ctrl) {
+		return
+	}
+	var snap adapt.Sample
+	for tab := s.cur.Load(); tab != nil; tab = tab.next.Load() {
+		for _, b := range tab.buckets {
+			snap.Retries += b.Retries()
+		}
+	}
+	snap.Hits, snap.Misses = s.elim.Stats()
+	snap.Timeouts = s.elim.Timeouts()
+	snap.Window = s.elim.Window()
+	dec := s.ctrl.Apply(snap)
+	if dec.Window != snap.Window {
+		s.elim.TryResize(dec.Window)
 	}
 }
 
@@ -300,6 +397,7 @@ func (m *Map) insertRouted(t *core.Thread, s *shard, tab *table, h, key, val uin
 func (m *Map) Remove(t *core.Thread, key uint64) (uint64, bool) {
 	h := hash(key)
 	s := m.shard(h)
+	m.adaptTick(t, s)
 	if v, ok := m.removeWalk(t, s, h, key); ok {
 		return v, true
 	}
@@ -349,10 +447,11 @@ func (m *Map) tryElimRemove(t *core.Thread, s *shard, h, key uint64) (uint64, bo
 	if s.elim == nil || t.MoveInFlight() {
 		return 0, false
 	}
-	// Inserts only park while their shard is mid-grow, so with no seal
-	// in sight the array is empty: skip the scan (and don't let plain
-	// key misses masquerade as elimination misses in the counters).
-	if !s.cur.Load().sealed.Load() {
+	// Inserts park while their shard is mid-grow or marked hot by the
+	// adaptive controller; with neither in sight the array is empty —
+	// skip the scan (and don't let plain key misses masquerade as
+	// elimination misses in the counters).
+	if !s.cur.Load().sealed.Load() && !(s.ctrl != nil && s.ctrl.ElimActive()) {
 		return 0, false
 	}
 	hnd, ok := s.elim.Peek(t.Rng.Uint64(), key, false)
@@ -386,6 +485,18 @@ func (m *Map) ContentionStats() []uint64 {
 		out[i] = n
 	}
 	return out
+}
+
+// AdaptStats aggregates the per-shard controllers' decision counters
+// (zeros when adaptation is disabled).
+func (m *Map) AdaptStats() adapt.Stats {
+	var st adapt.Stats
+	for i := range m.shards {
+		if c := m.shards[i].ctrl; c != nil {
+			st.Add(c.Stats())
+		}
+	}
+	return st
 }
 
 // ElimStats aggregates elimination hits and misses over all shards
@@ -423,6 +534,7 @@ func (m *Map) PrepareInsert(t *core.Thread, key uint64) bool {
 func (m *Map) Contains(t *core.Thread, key uint64) (uint64, bool) {
 	h := hash(key)
 	s := m.shard(h)
+	m.adaptTick(t, s)
 	for tab := s.cur.Load(); tab != nil; tab = tab.next.Load() {
 		if v, ok := tab.bucket(h, m.shardBits).Contains(t, key); ok {
 			return v, true
@@ -504,7 +616,7 @@ func (m *Map) RebalanceStep(t *core.Thread) bool {
 			m.steps.Add(1)
 			return true
 		}
-		if s.count.Load() > int64(len(tab.buckets))*m.growLoad &&
+		if s.count.Load() > int64(len(tab.buckets))*m.effGrowLoad(s) &&
 			tab.sealed.CompareAndSwap(false, true) {
 			m.grows.Add(1)
 			m.steps.Add(1)

@@ -1,0 +1,229 @@
+package integration
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/elim"
+	"repro/internal/hashmap"
+	"repro/internal/linearize"
+	"repro/internal/tstack"
+	"repro/internal/xrand"
+)
+
+// newAdaptRT builds a runtime with the adaptive subsystem deliberately
+// twitchy: tiny epochs and one-retry thresholds, so shards go hot,
+// windows resize and pacing kicks in within a short test run — the
+// schedules the race detector should see.
+func newAdaptRT(threads int) *core.Runtime {
+	return core.NewRuntime(core.Config{
+		MaxThreads:    threads,
+		ArenaCapacity: 1 << 18,
+		DescCapacity:  1 << 14,
+		Elimination:   elim.Config{Slots: 2, Spins: 128},
+		Adaptive: adapt.Config{
+			Enable:         true,
+			EpochOps:       128,
+			GrowMisses:     2,
+			GrowTraffic:    4,
+			ShrinkTimeouts: 1,
+			AttachRetries:  1,
+			DetachRetries:  1, // detach on near-calm epochs…
+			DetachEpochs:   2, // …two in a row: plenty of flapping
+			PaceRetries:    2,
+			PaceEpochs:     1,
+		},
+	})
+}
+
+// TestAdaptRacesMovesAndGrows races adaptive stacks and a map against
+// Move, MoveN and shard grows — with controllers resizing windows,
+// attaching hot shards and pacing splits underneath — then audits
+// conservation: every token exactly once. The Move/MoveN elimination
+// bypass is what keeps a descriptor-linearized move and a
+// controller-steered exchange from ever linearizing the same operation
+// twice, no matter how hot the controllers run.
+func TestAdaptRacesMovesAndGrows(t *testing.T) {
+	const workers = 6
+	const tokens = 96
+	const opsPer = 4000
+	rt := newAdaptRT(workers + 1)
+	setup := rt.RegisterThread()
+	s1 := tstack.New(setup)
+	s2 := tstack.New(setup)
+	m := hashmap.NewSharded(setup, 2, 2, 4)
+	for i := uint64(1); i <= tokens; i++ {
+		switch i % 3 {
+		case 0:
+			s1.Push(setup, i)
+		case 1:
+			s2.Push(setup, i)
+		default:
+			m.Insert(setup, i, i)
+		}
+	}
+
+	var moves atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		th := rt.RegisterThread()
+		go func(w int, th *core.Thread) {
+			defer wg.Done()
+			rng := uint64(w+1) * 0x9e3779b97f4a7c15
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			dsts := make([]core.Inserter, 1)
+			tkeys := make([]uint64, 1)
+			for i := 0; i < opsPer; i++ {
+				tok := next()%tokens + 1
+				switch next() % 8 {
+				case 0: // stack-to-stack move (DCAS; elimination bypassed)
+					if _, ok := th.Move(s1, s2, 0, 0); ok {
+						moves.Add(1)
+					}
+				case 1:
+					if _, ok := th.Move(s2, s1, 0, 0); ok {
+						moves.Add(1)
+					}
+				case 2: // map-to-stack MoveN (may hit hot or mid-grow shards)
+					dsts[0], tkeys[0] = s1, 0
+					if _, ok := th.MoveN(m, dsts, tok, tkeys); ok {
+						moves.Add(1)
+					}
+				case 3: // stack-to-map move
+					if _, ok := th.Move(s2, m, 0, tok); ok {
+						moves.Add(1)
+					}
+				case 4, 5: // stack churn through the elimination paths
+					if v, ok := s1.Pop(th); ok {
+						for !s1.Push(th, v) {
+						}
+					}
+				default: // map churn: hot shards route losers to the array
+					if v, ok := m.Remove(th, tok); ok {
+						for !m.Insert(th, tok, v) {
+							if s2.Push(th, v) {
+								break
+							}
+						}
+					}
+				}
+				if i%512 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w, th)
+	}
+	wg.Wait()
+
+	// Audit: drain everything; each token exactly once.
+	seen := make(map[uint64]int)
+	for {
+		v, ok := s1.Pop(setup)
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	for {
+		v, ok := s2.Pop(setup)
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	for _, k := range m.Keys(setup) {
+		if v, ok := m.Remove(setup, k); ok {
+			seen[v]++
+		}
+	}
+	if len(seen) != tokens {
+		t.Fatalf("%d distinct tokens, want %d", len(seen), tokens)
+	}
+	for tok, n := range seen {
+		if n != 1 || tok == 0 || tok > tokens {
+			t.Fatalf("token %d seen %d times", tok, n)
+		}
+	}
+	st := m.AdaptStats()
+	st.Add(s1.AdaptStats())
+	st.Add(s2.AdaptStats())
+	if st.Epochs == 0 {
+		t.Fatal("no controller epoch completed; adaptation never ran")
+	}
+	grows, migrated, _ := m.Stats()
+	t.Logf("moves=%d grows=%d migrated=%d adapt: epochs=%d win=+%d/-%d attach=%d/%d pace=+%d/-%d",
+		moves.Load(), grows, migrated, st.Epochs, st.WindowGrows, st.WindowShrinks,
+		st.Attaches, st.Detaches, st.PaceRaises, st.PaceDecays)
+}
+
+// TestAdaptLinearizableHistories records concurrent histories over two
+// adaptive stacks — pushes, pops and atomic moves, with the
+// controllers live and windows resizing — and checks every history
+// against the sequential two-stack model.
+func TestAdaptLinearizableHistories(t *testing.T) {
+	const workers = 4
+	const opsPer = 12
+	for round := 0; round < 40; round++ {
+		rt := newAdaptRT(workers + 1)
+		setup := rt.RegisterThread()
+		a, b := tstack.New(setup), tstack.New(setup)
+
+		var ts atomic.Int64
+		var mu sync.Mutex
+		var hist []linearize.Op
+		record := func(th int, name string, arg, ret uint64, ok bool, inv, retTS int64) {
+			mu.Lock()
+			hist = append(hist, linearize.Op{
+				Thread: th, Name: name, Arg: arg, Ret: ret, RetOK: ok,
+				Invoke: inv, Return: retTS,
+			})
+			mu.Unlock()
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			th := rt.RegisterThread()
+			go func(w int, th *core.Thread) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*100 + w))
+				for i := 0; i < opsPer; i++ {
+					sx, name := a, "A"
+					if rng.Uint64()&1 == 0 {
+						sx, name = b, "B"
+					}
+					switch rng.Uint64() % 5 {
+					case 0, 1:
+						v := uint64(w+1)<<16 | uint64(i+1)
+						inv := ts.Add(1)
+						sx.Push(th, v)
+						record(w, "ins"+name, v, 0, true, inv, ts.Add(1))
+					case 2, 3:
+						inv := ts.Add(1)
+						v, ok := sx.Pop(th)
+						record(w, "rem"+name, 0, v, ok, inv, ts.Add(1))
+					default:
+						src, dst, mv := a, b, "moveAB"
+						if name == "B" {
+							src, dst, mv = b, a, "moveBA"
+						}
+						inv := ts.Add(1)
+						v, ok := th.Move(src, dst, 0, 0)
+						record(w, mv, 0, v, ok, inv, ts.Add(1))
+					}
+				}
+			}(w, th)
+		}
+		wg.Wait()
+
+		model := linearize.PairModel{AKind: linearize.LIFO, BKind: linearize.LIFO}
+		if !linearize.Check(model, hist) {
+			t.Fatalf("round %d: history not linearizable:\n%v", round, hist)
+		}
+	}
+}

@@ -19,3 +19,14 @@ type Pad56 [CacheLineSize - 8]byte
 // Pad48 pads two uint64 words out to a full cache line when placed after
 // them.
 type Pad48 [CacheLineSize - 16]byte
+
+// CeilPow2 rounds n up to a power of two, minimum 1 — the shared
+// sizing helper for mask-indexed structures (elimination arrays, shard
+// and bucket tables).
+func CeilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

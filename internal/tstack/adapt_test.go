@@ -1,0 +1,214 @@
+package tstack
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/elim"
+)
+
+// newAdaptRT builds a runtime with adaptation on: tiny epochs so a
+// single-threaded test crosses boundaries quickly, thresholds low
+// enough that one epoch's traffic moves the window.
+func newAdaptRT(acfg adapt.Config) *core.Runtime {
+	acfg.Enable = true
+	return core.NewRuntime(core.Config{
+		MaxThreads:    8,
+		ArenaCapacity: 1 << 16,
+		DescCapacity:  1 << 12,
+		Elimination:   elim.Config{Slots: 2, Spins: 1},
+		Adaptive:      acfg,
+	})
+}
+
+// TestAdaptAttachesArrayWithoutElimKnob: enabling adaptation alone
+// attaches an elimination array (the mechanism the window policy
+// steers) with capacity for the whole window range.
+func TestAdaptAttachesArrayWithoutElimKnob(t *testing.T) {
+	rt := newAdaptRT(adapt.Config{})
+	th := rt.RegisterThread()
+	s := New(th)
+	if s.ElimArray() == nil {
+		t.Fatal("no elimination array despite Adaptive.Enable")
+	}
+	if s.Controller() == nil {
+		t.Fatal("no controller despite Adaptive.Enable")
+	}
+	if got := s.ElimArray().Capacity(); got != adapt.DefaultMaxWindow {
+		t.Fatalf("capacity=%d want MaxWindow=%d", got, adapt.DefaultMaxWindow)
+	}
+	if got := s.ElimArray().Window(); got != 2 {
+		t.Fatalf("window=%d want the configured 2 slots", got)
+	}
+}
+
+// TestAdaptDisabledByDefault: without the knob, no controller rides on
+// the stack and operations tick nothing.
+func TestAdaptDisabledByDefault(t *testing.T) {
+	rt := newRT()
+	th := rt.RegisterThread()
+	s := New(th)
+	if s.Controller() != nil {
+		t.Fatal("controller attached without Config.Adaptive.Enable")
+	}
+	if st := s.AdaptStats(); st != (adapt.Stats{}) {
+		t.Fatalf("AdaptStats nonzero when disabled: %+v", st)
+	}
+	s.Push(th, 1) // ticking a nil controller must be a no-op
+	if _, ok := s.Pop(th); !ok {
+		t.Fatal("pop failed")
+	}
+}
+
+// TestWindowGrowsUnderMissesWithTraffic drives the real operation
+// path: pops against an empty stack consult the elimination array and
+// miss, so every epoch is misses-with-traffic and the window must
+// climb — through the stack, not through a synthetic Apply.
+func TestWindowGrowsUnderMissesWithTraffic(t *testing.T) {
+	rt := newAdaptRT(adapt.Config{
+		EpochOps:    64,
+		GrowMisses:  4,
+		GrowTraffic: 8,
+		MaxWindow:   8,
+	})
+	th := rt.RegisterThread()
+	s := New(th)
+	if s.ElimArray().Window() != 2 {
+		t.Fatalf("window starts at %d want 2", s.ElimArray().Window())
+	}
+	// Each empty pop ticks once and records one elimination miss.
+	for i := 0; i < 64*8; i++ {
+		if _, ok := s.Pop(th); ok {
+			t.Fatal("pop of empty stack succeeded")
+		}
+	}
+	if got := s.ElimArray().Window(); got != 8 {
+		t.Fatalf("window=%d want MaxWindow=8 after sustained misses", got)
+	}
+	st := s.AdaptStats()
+	if st.Epochs == 0 || st.WindowGrows < 2 {
+		t.Fatalf("epochs=%d grows=%d want >0 and >=2", st.Epochs, st.WindowGrows)
+	}
+}
+
+// TestWindowShrinksAfterColdParkTimeouts: parks that expire without a
+// taker (one-spin windows, no complementary traffic) shrink the window
+// back down once the epoch samples them.
+func TestWindowShrinksAfterColdParkTimeouts(t *testing.T) {
+	rt := newAdaptRT(adapt.Config{
+		EpochOps:       64,
+		ShrinkTimeouts: 4,
+		GrowMisses:     1 << 30, // keep the grow rule out of the way
+		MaxWindow:      8,
+	})
+	th := rt.RegisterThread()
+	s := New(th)
+	a := s.ElimArray()
+	if !a.TryResize(8) {
+		t.Fatal("setup resize failed")
+	}
+	// Expire parks cold — exactly what a losing push does when no pop
+	// shows up inside its window (Spins is 1 in this runtime), then
+	// drive the epoch clock with successful pushes (no hits, no
+	// misses beyond the timeouts).
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i < 8; i++ {
+			if a.Park(uint64(i), 0, 7) {
+				t.Fatal("cold park was taken")
+			}
+		}
+		for i := 0; i < 64+8; i++ {
+			s.Push(th, 1)
+		}
+	}
+	if got := a.Window(); got != 1 {
+		t.Fatalf("window=%d want 1 after cold epochs", got)
+	}
+	if st := s.AdaptStats(); st.WindowShrinks < 3 {
+		t.Fatalf("shrinks=%d want >=3", st.WindowShrinks)
+	}
+}
+
+// TestAdaptElimBypassedDuringMove re-runs the composition probe with
+// the ADAPTIVE array (attached by the controller path, window live):
+// a thread with MoveInFlight() must refuse the elimination paths no
+// matter what the controller decides — adaptation tunes the contention
+// layer, it never adds a linearization side channel.
+func TestAdaptElimBypassedDuringMove(t *testing.T) {
+	rt := core.NewRuntime(core.Config{
+		MaxThreads:    8,
+		ArenaCapacity: 1 << 16,
+		DescCapacity:  1 << 12,
+		Elimination:   elim.Config{Slots: 2, Spins: 1 << 26},
+		Adaptive:      adapt.Config{Enable: true},
+	})
+	th := rt.RegisterThread()
+	parker := rt.RegisterThread()
+	s := New(th)
+	dst := New(th)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if s.tryElimPush(parker, 1234) {
+				return // taken: only the post-move pop may do that
+			}
+		}
+	}()
+	for {
+		if _, ok := s.ElimArray().Peek(0, 0, true); ok {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	hitsBefore, _ := s.ElimStats()
+	probed := 0
+	probe := moveProbe{fn: func(mt *core.Thread) (uint64, bool) {
+		if !mt.MoveInFlight() {
+			t.Error("probe not inside a move")
+		}
+		for i := 0; i < 100; i++ {
+			if _, ok := s.ElimArray().Peek(0, 0, true); !ok {
+				continue
+			}
+			probed++
+			if _, ok := s.tryElimPop(mt); ok {
+				t.Error("tryElimPop succeeded inside a move")
+			}
+			if s.tryElimPush(mt, 5678) {
+				t.Error("tryElimPush parked inside a move")
+			}
+		}
+		return 0, false
+	}}
+	if _, ok := th.Move(probe, dst, 0, 0); ok {
+		t.Fatal("probe move must fail")
+	}
+	if probed == 0 {
+		t.Fatal("offer was never parked during the probe")
+	}
+	if hitsAfter, _ := s.ElimStats(); hitsAfter != hitsBefore {
+		t.Fatalf("elimination hits moved %d→%d during a move", hitsBefore, hitsAfter)
+	}
+	// Outside the move the same offer is takeable.
+	var v uint64
+	var ok bool
+	for i := 0; i < 1<<24 && !ok; i++ {
+		if v, ok = s.tryElimPop(th); !ok {
+			runtime.Gosched()
+		}
+	}
+	if !ok || v != 1234 {
+		t.Fatalf("post-move take: %d %v", v, ok)
+	}
+	stop.Store(true)
+	wg.Wait()
+}

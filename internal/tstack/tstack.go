@@ -34,6 +34,9 @@
 package tstack
 
 import (
+	"sync/atomic"
+
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/elim"
 	"repro/internal/pad"
@@ -51,19 +54,33 @@ type Stack struct {
 	// push/pop bumps the tag bits of the top reference.
 	versioned bool
 
-	// elim is the elimination array, nil when the runtime disables the
-	// layer.
+	// elim is the elimination array, nil when the runtime disables both
+	// the elimination layer and adaptation.
 	elim *elim.Array
+
+	// ctrl is the adaptive controller steering the array's active
+	// window (nil when core.Config.Adaptive is off). retries feeds it:
+	// lost top CASes, bumped only on the contention path.
+	ctrl    *adapt.Controller
+	retries atomic.Uint64
 }
 
 var _ core.MoveReady = (*Stack)(nil)
 
 // newStack builds a stack, attaching an elimination array when the
-// runtime's configuration enables the layer.
+// runtime's configuration enables the layer — or when adaptation is
+// on, in which case the array gets physical capacity for the
+// controller's whole window range and starts at the configured slot
+// count.
 func newStack(t *core.Thread, versioned bool) *Stack {
 	s := &Stack{id: t.Runtime().NextObjectID(), versioned: versioned}
-	if cfg := t.Runtime().Elimination(); cfg.Enable {
-		s.elim = elim.NewArray(cfg, t.Runtime().MaxThreads())
+	rt := t.Runtime()
+	ecfg := rt.Elimination()
+	if acfg := rt.Adaptive(); acfg.Enable {
+		s.ctrl = rt.NewController()
+		s.elim = elim.NewArrayCapacity(ecfg, rt.MaxThreads(), s.ctrl.Config().MaxWindow)
+	} else if ecfg.Enable {
+		s.elim = elim.NewArray(ecfg, rt.MaxThreads())
 	}
 	return s
 }
@@ -96,6 +113,7 @@ func (s *Stack) newTop(ltop, ref uint64) uint64 {
 // Push adds val on top and reports success. A plain push always
 // succeeds; as a move target it fails when the move aborts.
 func (s *Stack) Push(t *core.Thread, val uint64) bool {
+	s.adaptTick(t)
 	ref := t.AllocNode() // S2
 	n := t.Node(ref)
 	n.Val = val // S3
@@ -111,6 +129,7 @@ func (s *Stack) Push(t *core.Thread, val uint64) bool {
 			t.BackoffReset()
 			return true // S12
 		}
+		s.retries.Add(1)
 		// Top is contended: try to pair off with a concurrent pop in
 		// the elimination array instead of hammering the CAS.
 		if s.tryElimPush(t, val) {
@@ -125,6 +144,7 @@ func (s *Stack) Push(t *core.Thread, val uint64) bool {
 // Pop removes the newest value. ok is false when the stack is empty or a
 // surrounding move aborted.
 func (s *Stack) Pop(t *core.Thread) (val uint64, ok bool) {
+	s.adaptTick(t)
 	for { // S14
 		ltop := t.Read(&s.top) // S15
 		if isNil(ltop) {       // S16
@@ -153,6 +173,7 @@ func (s *Stack) Pop(t *core.Thread) (val uint64, ok bool) {
 			t.ClearNode(core.SlotRem0)
 			return 0, false
 		}
+		s.retries.Add(1)
 		// Top is contended: a parked concurrent push serves this pop
 		// without another round on the shared word.
 		if v, ok := s.tryElimPop(t); ok {
@@ -163,6 +184,44 @@ func (s *Stack) Pop(t *core.Thread) (val uint64, ok bool) {
 		t.BackoffWait()
 	}
 }
+
+// adaptTick drives the stack's controller from the operation path; the
+// winning thread samples the stack's signals and applies the window
+// decision. Adaptation touches only the elimination array's active
+// window — never a linearization point.
+func (s *Stack) adaptTick(t *core.Thread) {
+	if !t.AdaptTick(s.ctrl) {
+		return
+	}
+	hits, misses := s.elim.Stats()
+	dec := s.ctrl.Apply(adapt.Sample{
+		Retries:  s.retries.Load(),
+		Hits:     hits,
+		Misses:   misses,
+		Timeouts: s.elim.Timeouts(),
+		Window:   s.elim.Window(),
+	})
+	if dec.Window != s.elim.Window() {
+		s.elim.TryResize(dec.Window)
+	}
+}
+
+// Retries reports how many linearization CASes the stack has lost to
+// concurrent writers — its contribution to the adaptive signal set.
+func (s *Stack) Retries() uint64 { return s.retries.Load() }
+
+// AdaptStats reports the stack's controller decisions (zero when
+// adaptation is disabled).
+func (s *Stack) AdaptStats() adapt.Stats {
+	if s.ctrl == nil {
+		return adapt.Stats{}
+	}
+	return s.ctrl.Stats()
+}
+
+// Controller exposes the adaptive controller for tests and diagnostics
+// (nil when disabled).
+func (s *Stack) Controller() *adapt.Controller { return s.ctrl }
 
 // tryElimPush parks val in the elimination array for a bounded window
 // and reports whether a concurrent pop took it (the push is then
