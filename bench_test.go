@@ -29,10 +29,10 @@ import (
 
 	"repro"
 	"repro/internal/core"
-	"repro/internal/dcas"
 	"repro/internal/elim"
 	"repro/internal/harness"
 	"repro/internal/hazard"
+	"repro/internal/kcas"
 	"repro/internal/msqueue"
 	"repro/internal/plainqueue"
 	"repro/internal/plainstack"
@@ -223,7 +223,7 @@ func benchStackMoves(b *testing.B, versioned bool, threads int) {
 	}
 	wg.Wait()
 	b.StopTimer()
-	helps, strays, late := rt.DCASPool().Stats()
+	helps, strays, late := rt.KCASPool().Stats()
 	b.ReportMetric(float64(helps)/float64(b.N), "helps/op")
 	b.ReportMetric(float64(strays)/float64(b.N), "strays/op")
 	_ = late
@@ -255,11 +255,16 @@ func BenchmarkA2_StackABA_PlainOps_Versioned(b *testing.B) { benchStackPlainOps(
 
 // --- A3: DCAS cost ---------------------------------------------------------
 
+// benchSlots is the raw-engine slot assignment for the A3 benchmarks
+// (mirrors core's layout: 3 descriptor slots, pair mirrors at 6/7,
+// k-word mirrors from 8).
+var benchSlots = kcas.Slots{PairHPD: 0, KHPD: 1, RDCSSHPD: 2, PairMirror1: 6, PairMirror2: 7, KMirrorBase: 8}
+
 func BenchmarkA3_DCAS_Uncontended(b *testing.B) {
-	nodeDom := hazard.New(2, 8)
-	descDom := hazard.New(2, 2)
-	pool := dcas.NewPool(1<<14, descDom)
-	ctx := dcas.NewCtx(pool, nodeDom, 0, 0, 6, 7)
+	nodeDom := hazard.New(2, 24)
+	descDom := hazard.New(2, 3)
+	pool := kcas.NewPool(1<<14, descDom)
+	ctx := kcas.NewCtx(pool, nodeDom, 0, benchSlots)
 	var w1, w2 word.Word
 	v1, v2 := word.MakeNode(100, 0), word.MakeNode(101, 0)
 	w1.Store(v1)
@@ -267,10 +272,11 @@ func BenchmarkA3_DCAS_Uncontended(b *testing.B) {
 	n1, n2 := word.MakeNode(102, 0), word.MakeNode(103, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d, ref := ctx.Alloc()
-		d.Ptr1, d.Old1, d.New1 = &w1, v1, n1
-		d.Ptr2, d.Old2, d.New2 = &w2, v2, n2
-		if ctx.Execute(d, ref) != dcas.Success {
+		d, ref := ctx.AllocPair()
+		e1, e2 := &d.Entries[0], &d.Entries[1]
+		e1.Ptr, e1.Old, e1.New = &w1, v1, n1
+		e2.Ptr, e2.Old, e2.New = &w2, v2, n2
+		if ctx.ExecutePair(d, ref) != kcas.Success {
 			b.Fatal("uncontended DCAS failed")
 		}
 		ctx.Retire(d, ref)
@@ -297,9 +303,9 @@ func BenchmarkA3_TwoPlainCAS(b *testing.B) {
 
 func BenchmarkA3_DCAS_Contended_4T(b *testing.B) {
 	const threads = 4
-	nodeDom := hazard.New(threads, 8)
-	descDom := hazard.New(threads, 2)
-	pool := dcas.NewPool(1<<16, descDom)
+	nodeDom := hazard.New(threads, 24)
+	descDom := hazard.New(threads, 3)
+	pool := kcas.NewPool(1<<16, descDom)
 	var w1, w2 word.Word
 	w1.Store(word.MakeNode(100, 0))
 	w2.Store(word.MakeNode(101, 0))
@@ -310,14 +316,15 @@ func BenchmarkA3_DCAS_Contended_4T(b *testing.B) {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			ctx := dcas.NewCtx(pool, nodeDom, t, 0, 6, 7)
+			ctx := kcas.NewCtx(pool, nodeDom, t, benchSlots)
 			for i := 0; i < perThread; i++ {
 				o1 := ctx.Read(&w1)
 				o2 := ctx.Read(&w2)
-				d, ref := ctx.Alloc()
-				d.Ptr1, d.Old1, d.New1 = &w1, o1, word.MakeNode(200+uint64(t)<<8+uint64(i&0xff), 0)
-				d.Ptr2, d.Old2, d.New2 = &w2, o2, word.MakeNode(300+uint64(t)<<8+uint64(i&0xff), 0)
-				if ctx.Execute(d, ref) == dcas.FirstFailed {
+				d, ref := ctx.AllocPair()
+				e1, e2 := &d.Entries[0], &d.Entries[1]
+				e1.Ptr, e1.Old, e1.New = &w1, o1, word.MakeNode(200+uint64(t)<<8+uint64(i&0xff), 0)
+				e2.Ptr, e2.Old, e2.New = &w2, o2, word.MakeNode(300+uint64(t)<<8+uint64(i&0xff), 0)
+				if ctx.ExecutePair(d, ref) == kcas.FirstFailed {
 					ctx.FreeDirect(d, ref)
 				} else {
 					ctx.Retire(d, ref)

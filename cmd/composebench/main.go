@@ -100,10 +100,14 @@ type jsonRow struct {
 
 // jsonDoc is the -json file layout: host context (thread counts beyond
 // host_cpus time-slice one CPU, which flattens contention effects),
-// then one row per cell.
+// then one row per cell. Contended is false when the process had only
+// one schedulable CPU (GOMAXPROCS=1): every "concurrent" cell then ran
+// time-sliced, so the numbers say nothing about contention behavior and
+// downstream consumers must not compare them against contended runs.
 type jsonDoc struct {
-	HostCPUs int       `json:"host_cpus"`
-	Rows     []jsonRow `json:"rows"`
+	HostCPUs  int       `json:"host_cpus"`
+	Contended bool      `json:"contended"`
+	Rows      []jsonRow `json:"rows"`
 }
 
 // sink collects the optional CSV and JSON outputs.
@@ -208,8 +212,12 @@ func main() {
 		defer out.csv.Close()
 		fmt.Fprintln(out.csv, "figure,pair,mix,contention,backoff,elim,impl,threads,ops,trials,mean_ms,ci95_ms,min_ms,max_ms")
 	}
+	contended := contendedRun()
+	if !contended {
+		fmt.Fprintln(os.Stderr, "composebench: warning: GOMAXPROCS=1 — concurrent cells run time-sliced on one CPU; results do not measure contention")
+	}
 	if *jsonPath != "" {
-		out.doc = &jsonDoc{HostCPUs: runtime.NumCPU()}
+		out.doc = &jsonDoc{HostCPUs: runtime.NumCPU(), Contended: contended}
 		out.path = *jsonPath
 	}
 
@@ -592,6 +600,11 @@ func runPanel(out *sink, fig int, pair harness.Pair, mix harness.Mix,
 			bl.Summary.Mean/1e6, bl.Summary.CI95()/1e6)
 	}
 }
+
+// contendedRun reports whether concurrent cells actually contend: with
+// GOMAXPROCS=1 every worker time-slices one CPU, so "contended" numbers
+// from such a run are meaningless.
+func contendedRun() bool { return runtime.GOMAXPROCS(0) > 1 }
 
 func figurePair(fig int) harness.Pair {
 	switch fig {

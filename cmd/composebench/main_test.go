@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/harness"
@@ -123,6 +125,30 @@ func TestFigurePair(t *testing.T) {
 		figurePair(3) != harness.QueueQueue ||
 		figurePair(4) != harness.StackStack {
 		t.Fatal("figure-to-pair mapping broken")
+	}
+}
+
+// TestContendedFlag pins the GOMAXPROCS guard: a single-CPU run must
+// mark its JSON as uncontended, and the field must serialize even when
+// false (downstream consumers distinguish "uncontended" from "flag
+// missing").
+func TestContendedFlag(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if contendedRun() {
+		t.Fatal("GOMAXPROCS=1 must report an uncontended run")
+	}
+	runtime.GOMAXPROCS(2)
+	if !contendedRun() {
+		t.Fatal("GOMAXPROCS=2 must report a contended run")
+	}
+
+	b, err := json.Marshal(jsonDoc{HostCPUs: 1, Contended: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"contended":false`) {
+		t.Fatalf("contended=false must be serialized explicitly: %s", b)
 	}
 }
 

@@ -219,8 +219,8 @@ func main() {
 			insertToken(tgt, keyed, tok)
 			i++
 		}
-		helps, strays, late := rt.DCASPool().Stats()
-		fmt.Printf("round %2d %-12s ok (%6.2fs)  dcas-helps=%d strays=%d late-p2=%d%s\n",
+		helps, strays, late := rt.KCASPool().Stats()
+		fmt.Printf("round %2d %-12s ok (%6.2fs)  pair-helps=%d strays=%d late-p2=%d%s\n",
 			round, roundPair, time.Since(t0).Seconds(), helps, strays, late, contention)
 	}
 	fmt.Println("stress: all rounds passed — conservation intact")

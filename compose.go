@@ -47,7 +47,7 @@
 //	})
 //
 // Threads inside a Move/MoveN always bypass the array: a move's
-// linearization must go through its DCAS/MCAS descriptor, never a
+// linearization must go through its kCAS descriptor, never a
 // side-channel exchange. The layer pays off only under real hardware
 // parallelism — single-CPU hosts rarely fail a CAS, so nothing parks.
 //
@@ -108,6 +108,33 @@
 // elimination layer no matter what any controller decides, exactly as
 // with the static layer, and the composition test suite probes that
 // bypass with adaptation forced hot.
+//
+// # The k-word CAS engine
+//
+// One engine (internal/kcas) backs every composition. A descriptor
+// holds up to eight (word, old, new) entries; two-entry operations —
+// the pairwise Move — run the paper's helping DCAS protocol (Algorithm
+// 4) directly on the inline entries, while wider compositions run a
+// Harris/Fraser/Pratt-style CASN whose RDCSS sub-descriptors are
+// encoded in the word references themselves, so helping never
+// allocates. Both protocols share one descriptor pool (Config's
+// DescCapacity is the whole budget), one per-thread recycling context
+// with sequence-stamped ABA-safe reuse, and one helping dispatch: a
+// reader that finds any descriptor kind in a word helps it to
+// completion, so pair moves, k-word chains and batch flushes interleave
+// freely on the same words.
+//
+// On top of the engine, three >2-object compositions:
+//
+//   - SwapHeads atomically rotates the head values of 2..8 stacks —
+//     all top CASes decided by one k-word CAS.
+//   - TransferKeys atomically moves up to 4 keyed elements between two
+//     hash maps: all removes and inserts linearize together.
+//   - DrainN moves up to N elements from one object to another under a
+//     shared descriptor lifecycle — each move stays individually
+//     linearizable (it is amortization, like MoveBatch, not a
+//     transaction), with hazard publication and descriptor recycling
+//     paid once.
 //
 // # Batched moves
 //
@@ -239,6 +266,54 @@ func Move(t *Thread, src Remover, dst Inserter, skey, tkey uint64) (uint64, bool
 // pairwise distinct; at most 7 targets.
 func MoveN(t *Thread, src Remover, dsts []Inserter, skey uint64, tkeys []uint64) (uint64, bool) {
 	return t.MoveN(src, dsts, skey, tkeys)
+}
+
+// SwapHeads atomically rotates the head values of k stacks (2 ≤ k ≤ 8):
+// stack i's head value becomes stack i-1's, with all k top CASes
+// decided by one k-word CAS — no observer sees a partial rotation. It
+// returns false (changing nothing) when any stack is observed empty.
+// The stacks must be pairwise distinct.
+func SwapHeads(t *Thread, stacks ...*Stack) bool {
+	return tstack.SwapHeads(t, stacks...)
+}
+
+// TransferKeys atomically moves len(skeys) elements from src to dst:
+// element i is removed under skeys[i] and inserted under tkeys[i], all
+// 2k linearization CASes decided by one k-word CAS (at most 4 key
+// pairs). On success it returns the moved values, in key order.
+//
+// It returns ok=false, changing nothing, when any source key is absent,
+// any target key is occupied, or the keys are not chain-independent —
+// two source keys (or two target keys) currently hashing into the same
+// bucket chain cannot be composed, a data-dependent condition callers
+// handle by falling back to per-key Moves. Keys within each slice must
+// be pairwise distinct and the maps must be distinct objects.
+func TransferKeys(t *Thread, src, dst *HashMap, skeys, tkeys []uint64) ([]uint64, bool) {
+	for i := range skeys {
+		for j := 0; j < i; j++ {
+			if src.SameChain(skeys[j], skeys[i]) || dst.SameChain(tkeys[j], tkeys[i]) {
+				return nil, false
+			}
+		}
+	}
+	out := make([]uint64, len(skeys))
+	if !t.TransferN(src, dst, skeys, tkeys, out) {
+		return nil, false
+	}
+	return out, true
+}
+
+// DrainN moves up to n elements from src to dst under one shared
+// descriptor lifecycle (a batch flush): hazard publication and
+// descriptor recycling are amortized over the run. Each move remains
+// its own individually-linearizable operation — DrainN is a pipeline,
+// not a transaction — and the drain stops at the first failed move
+// (source empty or target refusing). It returns the moved values.
+// skey/tkey are passed to every move, as in Move.
+func DrainN(t *Thread, src Remover, dst Inserter, skey, tkey uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	moved := t.DrainN(src, dst, skey, tkey, n, out)
+	return out[:moved]
 }
 
 // MoveBatch is the per-thread batched move pipeline: Add buffers moves,

@@ -218,7 +218,7 @@ func TestFlushDescriptorsRecycleEagerly(t *testing.T) {
 	}
 	// 100 rounds × 32 moves = 3200 descriptors consumed; with eager
 	// recycling the pool's bump allocator must stay at its first carve.
-	if got := rt.DCASPool().Carved(); got > 64 {
+	if got := rt.KCASPool().Carved(); got > 64 {
 		t.Fatalf("flush recycling ineffective: %d descriptor slots carved, want one batch (64)", got)
 	}
 }

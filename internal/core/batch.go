@@ -14,7 +14,7 @@ import "math/bits"
 //     a few nodes until the flush ends — it can never unprotect early.
 //   - descriptor recycling: announced descriptors retired inside the
 //     flush are parked and recycled by one shared hazard snapshot in
-//     EndBatchFlush (dcas/mcas EndFlush) instead of one retire cycle
+//     EndBatchFlush (kcas.Ctx.EndFlush) instead of one retire cycle
 //     per move; sequence-stamped references keep the early reuse
 //     ABA-safe.
 //
@@ -87,7 +87,7 @@ func (t *Thread) AbortBatchFlush() {
 func (t *Thread) finishBatchFlush() {
 	t.batchActive = false
 	// Clear the container slots the flush actually published (the
-	// DCAS/MCAS mirror slots are published and cleared by the helping
+	// helping mirror slots are published and cleared by the helping
 	// paths themselves, which bypass the deferral)...
 	for dirty := t.batchDirty; dirty != 0; dirty &= dirty - 1 {
 		t.rt.nodeDom.Clear(t.id, bits.TrailingZeros32(dirty))
@@ -99,8 +99,7 @@ func (t *Thread) finishBatchFlush() {
 		t.cache.Retire(ref)
 	}
 	t.batchNodes = t.batchNodes[:0]
-	t.dctx.EndFlush()
-	t.mctx.EndFlush()
+	t.kctx.EndFlush()
 }
 
 // batchScanGuard is the retire-list headroom below which an in-flush

@@ -17,10 +17,9 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/arena"
-	"repro/internal/dcas"
 	"repro/internal/elim"
 	"repro/internal/hazard"
-	"repro/internal/mcas"
+	"repro/internal/kcas"
 	"repro/internal/mm"
 	"repro/internal/word"
 	"repro/internal/xrand"
@@ -31,7 +30,12 @@ import (
 // different instances can succeed simultaneously; as §5.1 prescribes,
 // insert-side and remove-side operations therefore use disjoint slot
 // sets. Slots 6..7 receive the mirrored hazard pointers when helping a
-// DCAS (line D3); slots 8+ are mirrors for the MoveN extension.
+// pair operation (line D3); the next MaxEntries slots are mirrors for
+// k-word helping; the final MaxEntries slots are the chain hold slots —
+// initiator-side per-entry protections published while a composed
+// chain (MoveN, TransferN, SwapHeads) accumulates entries, so a node
+// captured at entry j stays protected even after a later same-side
+// operation overwrites the container slots it was found through.
 const (
 	SlotIns0   = 0 // insert-side primary (e.g. ltail in enqueue)
 	SlotIns1   = 1 // insert-side secondary (e.g. lnext in enqueue)
@@ -43,15 +47,16 @@ const (
 	slotMirror1 = 6
 	slotMirror2 = 7
 
-	slotMCASMirrorBase = 8
+	slotKMirrorBase   = 8
+	slotChainHoldBase = 8 + kcas.MaxEntries
 
-	nodeSlotsPerThread = 8 + 2*mcas.MaxEntries
+	nodeSlotsPerThread = 8 + 2*kcas.MaxEntries
 )
 
 // Descriptor-domain hazard slots.
 const (
-	slotHPD      = 0 // DCAS hpd (read operation, line D35)
-	slotMCASHPD  = 1 // MCAS descriptor protection
+	slotHPD      = 0 // pair hpd (read operation, line D35)
+	slotKHPD     = 1 // k-word descriptor protection
 	slotRDCSSHPD = 2 // RDCSS sub-descriptor protection
 	descSlotsPer = 3
 )
@@ -64,8 +69,9 @@ type Config struct {
 	// ArenaCapacity is the maximum number of container nodes. Default
 	// 1<<22.
 	ArenaCapacity int
-	// DescCapacity is the maximum number of DCAS descriptors. Default
-	// 1<<18.
+	// DescCapacity is the maximum number of k-word CAS descriptors —
+	// the runtime's total descriptor budget, honored exactly by the one
+	// unified pool. Default 1<<18.
 	DescCapacity int
 	// RetireThreshold triggers hazard scans of retired nodes. Default
 	// mm.DefaultRetireThreshold.
@@ -102,8 +108,7 @@ type Runtime struct {
 	nodeDom *hazard.Domain
 	descDom *hazard.Domain
 	mm      *mm.Manager
-	dpool   *dcas.Pool
-	mpool   *mcas.Pool
+	pool    *kcas.Pool
 
 	nextTID atomic.Int32
 	objIDs  atomic.Uint64
@@ -122,8 +127,10 @@ func NewRuntime(cfg Config) *Runtime {
 	rt.nodeDom = hazard.New(cfg.MaxThreads, nodeSlotsPerThread)
 	rt.descDom = hazard.New(cfg.MaxThreads, descSlotsPer)
 	rt.mm = mm.New(rt.arena, rt.nodeDom, mm.Config{RetireThreshold: cfg.RetireThreshold})
-	rt.dpool = dcas.NewPool(cfg.DescCapacity, rt.descDom)
-	rt.mpool = mcas.NewPool(cfg.DescCapacity, rt.descDom)
+	// One pool for both protocols: DescCapacity is the whole budget.
+	// (The split engines each carved a full-capacity pool from the same
+	// config field, silently doubling descriptor memory.)
+	rt.pool = kcas.NewPool(cfg.DescCapacity, rt.descDom)
 	return rt
 }
 
@@ -134,12 +141,9 @@ func (rt *Runtime) Arena() *arena.Arena { return rt.arena }
 // Manager exposes the memory manager for tests and diagnostics.
 func (rt *Runtime) Manager() *mm.Manager { return rt.mm }
 
-// DCASPool exposes the descriptor pool's counters for tests and the §7
-// false-helping measurements.
-func (rt *Runtime) DCASPool() *dcas.Pool { return rt.dpool }
-
-// MCASPool exposes the MoveN descriptor pool.
-func (rt *Runtime) MCASPool() *mcas.Pool { return rt.mpool }
+// KCASPool exposes the unified descriptor pool's counters for tests and
+// the §7 false-helping measurements.
+func (rt *Runtime) KCASPool() *kcas.Pool { return rt.pool }
 
 // MaxThreads reports the configured registration limit.
 func (rt *Runtime) MaxThreads() int { return rt.cfg.MaxThreads }
@@ -181,10 +185,13 @@ func (rt *Runtime) RegisterThread() *Thread {
 		id:    id,
 		rt:    rt,
 		cache: rt.mm.NewCache(id),
-		dctx:  dcas.NewCtx(rt.dpool, rt.nodeDom, id, slotHPD, slotMirror1, slotMirror2),
-		Rng:   xrand.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
+		kctx: kcas.NewCtx(rt.pool, rt.nodeDom, id, kcas.Slots{
+			PairHPD: slotHPD, KHPD: slotKHPD, RDCSSHPD: slotRDCSSHPD,
+			PairMirror1: slotMirror1, PairMirror2: slotMirror2,
+			KMirrorBase: slotKMirrorBase,
+		}),
+		Rng: xrand.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
 	}
-	t.mctx = mcas.NewCtx(rt.mpool, rt.nodeDom, id, slotMCASHPD, slotRDCSSHPD, slotMCASMirrorBase)
 	return t
 }
 

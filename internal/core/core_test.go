@@ -34,7 +34,7 @@ func TestDefaultsApplied(t *testing.T) {
 	if rt.MaxThreads() != 64 {
 		t.Fatalf("default MaxThreads=%d", rt.MaxThreads())
 	}
-	if rt.Arena() == nil || rt.Manager() == nil || rt.DCASPool() == nil || rt.MCASPool() == nil {
+	if rt.Arena() == nil || rt.Manager() == nil || rt.KCASPool() == nil {
 		t.Fatal("substrate not built")
 	}
 }

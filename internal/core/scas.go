@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/dcas"
+	"repro/internal/kcas"
 	"repro/internal/word"
 )
 
@@ -76,10 +76,10 @@ func (t *Thread) scasRemoveSlow(w *word.Word, old, new, element, hp uint64) FRes
 	if t.mdesc != nil {
 		return t.moveNRemoveSCAS(w, old, new, element, hp)
 	}
-	d := t.desc
-	d.Ptr1, d.Old1, d.New1 = w, old, new        // M11–M13
-	d.HP1 = word.NodeIndex(hp)                  // M14
-	t.insfailed = true                          // M15
+	e := &t.desc.Entries[0]
+	e.Ptr, e.Old, e.New = w, old, new // M11–M13
+	e.HP = word.NodeIndex(hp)         // M14
+	t.insfailed = true                // M15
 	ok := t.ltarget.Insert(t, t.ltkey, element) // M16
 	if t.insfailed {                            // M17: the insert never reached its scas
 		return FAbort // M18
@@ -107,25 +107,26 @@ func (t *Thread) scasInsertSlow(w *word.Word, old, new, hp uint64) FResult {
 		return t.moveNInsertSCAS(w, old, new, hp)
 	}
 	d := t.desc
-	d.Ptr2, d.Old2, d.New2 = w, old, new // M24–M26
-	d.HP2 = word.NodeIndex(hp)           // M27
-	if d.Ptr1 == d.Ptr2 {
+	e := &d.Entries[1]
+	e.Ptr, e.Old, e.New = w, old, new // M24–M26
+	e.HP = word.NodeIndex(hp)         // M27
+	if d.Entries[0].Ptr == e.Ptr {
 		panic("core: move source and target share a word; moves require distinct objects")
 	}
-	res := t.dctx.Execute(d, t.descRef) // M28
-	if res != dcas.Success {            // M29
+	res := t.kctx.ExecutePair(d, t.descRef) // M28
+	if res != kcas.Success {                // M29
 		// M30: a helper may still reference the failed descriptor, so
 		// take a fresh one carrying the stored remove-side arguments.
-		nd, nref := t.dctx.Alloc() // M31: res starts UNDECIDED
-		nd.Ptr1, nd.Old1, nd.New1, nd.HP1 = d.Ptr1, d.Old1, d.New1, d.HP1
+		nd, nref := t.kctx.AllocPair() // M31: res starts UNDECIDED
+		nd.Entries[0] = d.Entries[0]
 		t.recycleDesc(d, t.descRef)
 		t.desc, t.descRef = nd, nref
 	}
 	t.insfailed = false // M32
 	switch res {
-	case dcas.FirstFailed: // M33: the remove's word changed — redo steps 1–2
+	case kcas.FirstFailed: // M33: the remove's word changed — redo steps 1–2
 		return FAbort // M34
-	case dcas.SecondFailed: // M35: the insert's word changed — redo step 2
+	case kcas.SecondFailed: // M35: the insert's word changed — redo step 2
 		return FFalse // M36
 	}
 	return FTrue // M37
@@ -136,14 +137,14 @@ func (t *Thread) scasInsertSlow(w *word.Word, old, new, hp uint64) FResult {
 // retirement — or, inside a batch flush, through the flush recycle path
 // that amortizes one hazard snapshot over the whole flush; unannounced
 // ones are recycled directly.
-func (t *Thread) recycleDesc(d *dcas.Desc, ref uint64) {
+func (t *Thread) recycleDesc(d *kcas.Desc, ref uint64) {
 	switch {
-	case !d.ResDecided():
-		t.dctx.FreeDirect(d, ref)
+	case !d.Decided():
+		t.kctx.FreeDirect(d, ref)
 	case t.batchActive:
-		t.dctx.RetireFlush(d, ref)
+		t.kctx.RetireFlush(d, ref)
 	default:
-		t.dctx.Retire(d, ref)
+		t.kctx.Retire(d, ref)
 	}
 }
 
@@ -172,7 +173,7 @@ func (t *Thread) MoveUnchecked(src Remover, dst Inserter, skey, tkey uint64) (ui
 	if t.desc != nil || t.mdesc != nil {
 		panic("core: nested Move on one thread")
 	}
-	d, ref := t.dctx.Alloc() // M2–M3: fresh descriptor, res = UNDECIDED
+	d, ref := t.kctx.AllocPair() // M2–M3: fresh descriptor, res = UNDECIDED
 	t.desc, t.descRef = d, ref
 	t.ltarget, t.ltkey = dst, tkey // M4–M5
 	val, ok := src.Remove(t, skey) // M6

@@ -4,8 +4,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/arena"
 	"repro/internal/backoff"
-	"repro/internal/dcas"
-	"repro/internal/mcas"
+	"repro/internal/kcas"
 	"repro/internal/mm"
 	"repro/internal/word"
 	"repro/internal/xrand"
@@ -14,34 +13,34 @@ import (
 // Thread is the per-goroutine execution context. It carries the paper's
 // thread-local variables from Algorithm 3 (desc, ltarget, ltkey,
 // insfailed), the thread's hazard-pointer slots, its memory-manager
-// cache and its descriptor contexts.
+// cache and its descriptor context.
 //
 // A Thread must be used by exactly one goroutine at a time.
 type Thread struct {
 	id    int
 	rt    *Runtime
 	cache *mm.Cache
-	dctx  *dcas.Ctx
-	mctx  *mcas.Ctx
+	kctx  *kcas.Ctx
 
 	// Algorithm 3 thread-local variables for the two-object move.
-	desc      *dcas.Desc
+	desc      *kcas.Desc
 	descRef   uint64
 	ltarget   Inserter
 	ltkey     uint64
 	insfailed bool
 
-	// MoveN state (§8 extension).
-	mdesc    *mcas.Desc
+	// Chain state for the §8 k-word compositions (MoveN, TransferN): a
+	// step program of removes and inserts whose linearization CASes are
+	// captured one entry per step and decided by one k-word CAS.
+	mdesc    *kcas.Desc
 	mref     uint64
-	mN       int // number of entries = targets + 1
-	mtargets []Inserter
-	mtkeys   []uint64
-	mReached [mcas.MaxEntries]bool
+	mSteps   []chainStep // reused buffer; len = entry count
+	mVals    [kcas.MaxEntries]uint64
+	mReached [kcas.MaxEntries]bool
 	mFailed  int
 	mAbort   bool
-	mDepth   int    // entry index the active insert fills
-	mElement uint64 // element threaded through the insert chain
+	mDepth   int    // entry index the active step fills
+	mElement uint64 // element threaded through the chain
 
 	// Rng is this thread's private random source, seeded from the
 	// thread id at registration. The elimination layer draws slot
@@ -65,10 +64,13 @@ type Thread struct {
 	boEnabled bool
 }
 
-func init() {
-	// The MoveN scas chain stores which entry reached its linearization
-	// attempt in a fixed array; keep the bound in sync with mcas.
-	_ = [mcas.MaxEntries]bool{}
+// chainStep is one operation of a composed chain: exactly one of rem or
+// ins is set. key is the operation's container key (ignored by unkeyed
+// containers).
+type chainStep struct {
+	rem Remover
+	ins Inserter
+	key uint64
 }
 
 // ID returns the registered thread id (0-based).
@@ -107,8 +109,7 @@ func (t *Thread) FreeNodeDirect(ref uint64) { t.cache.FreeDirect(ref) }
 // FlushMemory drains this thread's retire lists (thread shutdown).
 func (t *Thread) FlushMemory() {
 	t.cache.Flush()
-	t.dctx.Flush()
-	t.mctx.Flush()
+	t.kctx.Flush()
 }
 
 // --- hazard pointers -------------------------------------------------------
@@ -145,33 +146,40 @@ func (t *Thread) ClearHazards() {
 	t.rt.nodeDom.ClearAll(t.id)
 }
 
+// HoldNode publishes the node referenced by ref in the i-th chain hold
+// slot (0 <= i < kcas.MaxEntries). The hold slots carry initiator-side
+// per-entry protections across a composed chain: container operations
+// reuse their fixed Ins/Rem slots, so without a hold the node captured
+// at entry j would lose its protection as soon as a later same-side
+// step overwrites those slots — while its word is still the target of
+// the pending k-word CAS. Holds bypass the batch-flush deferral: they
+// have their own release point (ReleaseHolds), not the flush's.
+func (t *Thread) HoldNode(i int, ref uint64) {
+	t.rt.nodeDom.Protect(t.id, slotChainHoldBase+i, word.NodeIndex(ref))
+}
+
+// ReleaseHolds clears every chain hold slot; composed operations call
+// it once when their chain completes (either way), also bypassing the
+// batch-flush deferral.
+func (t *Thread) ReleaseHolds() {
+	for i := 0; i < kcas.MaxEntries; i++ {
+		t.rt.nodeDom.Clear(t.id, slotChainHoldBase+i)
+	}
+}
+
 // --- shared-word access ----------------------------------------------------
 
 // Read is the read operation of Algorithm 4 (lines D32–D39) extended to
-// dispatch on descriptor kind: it helps any DCAS, MCAS or RDCSS
-// announced in w and returns a plain value. The common no-descriptor
-// case stays small enough for the inliner; helping is the slow path.
+// dispatch on descriptor kind: it helps any pair, k-word or RDCSS
+// descriptor announced in w and returns a plain value. The common
+// no-descriptor case stays small enough for the inliner; helping is the
+// slow path.
 func (t *Thread) Read(w *word.Word) uint64 {
 	v := w.Load()
 	if v&1 == 0 { // word.IsDesc spelled out to stay under the inline budget
 		return v
 	}
-	return t.readSlow(w, v)
-}
-
-func (t *Thread) readSlow(w *word.Word, v uint64) uint64 {
-	for word.IsDesc(v) {
-		switch word.DescKind(v) {
-		case word.KindDCAS:
-			t.dctx.HelpRef(w, v)
-		case word.KindMCAS:
-			t.mctx.HelpRef(w, v)
-		case word.KindRDCSS:
-			t.mctx.CompleteRDCSS(w, v)
-		}
-		v = w.Load()
-	}
-	return v
+	return t.kctx.Read(w)
 }
 
 // CAS performs a plain CAS on a shared word (used for non-linearization

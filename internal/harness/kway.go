@@ -1,0 +1,276 @@
+package harness
+
+// This file adds the composed-operation scenario: the >2-object
+// compositions the unified k-word CAS engine opens up — SwapHeads over
+// k stacks, TransferN between two maps, DrainN between a queue and a
+// stack — run under contention alongside the plain operations they
+// compose with. The harness validates token conservation after every
+// trial: composed operations move elements, never create or destroy
+// them.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashmap"
+	"repro/internal/msqueue"
+	"repro/internal/stats"
+	"repro/internal/tstack"
+	"repro/internal/xrand"
+)
+
+// ComposedOp selects which composition a cell exercises.
+type ComposedOp int
+
+const (
+	// SwapOp rotates the heads of K stacks with tstack.SwapHeads while
+	// other threads push and pop the same stacks.
+	SwapOp ComposedOp = iota
+	// TransferOp moves K key pairs between two maps with core.TransferN
+	// while other threads insert and remove the same key space.
+	TransferOp
+	// DrainOp drains runs of K elements queue→stack with core.DrainN,
+	// against reverse Move traffic.
+	DrainOp
+)
+
+func (op ComposedOp) String() string {
+	switch op {
+	case SwapOp:
+		return "swap"
+	case TransferOp:
+		return "transfer"
+	case DrainOp:
+		return "drain"
+	}
+	return "?"
+}
+
+// ComposedOptions configures one composed-operation cell.
+type ComposedOptions struct {
+	Op       ComposedOp
+	Threads  int
+	TotalOps int // composed operations issued, distributed over threads
+	Trials   int
+	// K is the composition width: stacks rotated, key pairs transferred,
+	// elements drained per call.
+	K       int
+	Prefill int
+	Seed    uint64
+	Pin     bool
+}
+
+func (o ComposedOptions) withDefaults() ComposedOptions {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.TotalOps <= 0 {
+		o.TotalOps = 100_000
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.Prefill <= 0 {
+		o.Prefill = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	return o
+}
+
+// ComposedResult aggregates the trials of one composed-operation cell.
+type ComposedResult struct {
+	Options   ComposedOptions
+	SamplesNS []float64
+	Summary   stats.Summary
+	// Succeeded is the per-trial mean of composed calls that committed.
+	Succeeded float64
+}
+
+// MeanMS returns the mean duration in milliseconds.
+func (r ComposedResult) MeanMS() float64 { return r.Summary.Mean / 1e6 }
+
+// RunComposed executes every trial of one composed-operation cell,
+// panicking on any conservation violation.
+func RunComposed(o ComposedOptions) ComposedResult {
+	o = o.withDefaults()
+	res := ComposedResult{Options: o}
+	for trial := 0; trial < o.Trials; trial++ {
+		ns, okCount := runComposedTrial(o, uint64(trial))
+		res.SamplesNS = append(res.SamplesNS, ns)
+		res.Succeeded += float64(okCount) / float64(o.Trials)
+	}
+	res.Summary = stats.Summarize(res.SamplesNS)
+	return res
+}
+
+func runComposedTrial(o ComposedOptions, trial uint64) (ns float64, okCount uint64) {
+	rt := core.NewRuntime(core.Config{
+		MaxThreads:    o.Threads + 1,
+		ArenaCapacity: o.Prefill*8 + (1 << 16),
+	})
+	setup := rt.RegisterThread()
+	seed := o.Seed + trial*1000003
+
+	var body func(w int, th *core.Thread, per int) uint64
+	var verify func()
+
+	switch o.Op {
+	case SwapOp:
+		stacks := make([]*tstack.Stack, o.K)
+		for i := range stacks {
+			stacks[i] = tstack.New(setup)
+		}
+		total := 0
+		for i, s := range stacks {
+			for j := 0; j < o.Prefill; j++ {
+				s.Push(setup, uint64(i*o.Prefill+j))
+				total++
+			}
+		}
+		body = func(w int, th *core.Thread, per int) uint64 {
+			rng := xrand.New(seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
+			var ok uint64
+			for i := 0; i < per; i++ {
+				if w%2 == 0 {
+					if tstack.SwapHeads(th, stacks...) {
+						ok++
+					}
+				} else {
+					// Churn: pop one stack, push another, keeping totals.
+					from := stacks[rng.Uint64()%uint64(o.K)]
+					to := stacks[rng.Uint64()%uint64(o.K)]
+					if v, did := from.Pop(th); did {
+						for !to.Push(th, v) {
+						}
+						ok++
+					}
+				}
+			}
+			return ok
+		}
+		verify = func() {
+			got := 0
+			for _, s := range stacks {
+				got += s.Len(setup)
+			}
+			if got != total {
+				panic(fmt.Sprintf("harness: swap cell lost tokens: %d != %d", got, total))
+			}
+		}
+
+	case TransferOp:
+		src := hashmap.New(setup, 512)
+		dst := hashmap.New(setup, 512)
+		keys := o.Prefill
+		for k := 1; k <= keys; k++ {
+			src.Insert(setup, uint64(k), uint64(k)*10)
+		}
+		body = func(w int, th *core.Thread, per int) uint64 {
+			rng := xrand.New(seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
+			skeys := make([]uint64, o.K)
+			tkeys := make([]uint64, o.K)
+			var ok uint64
+			for i := 0; i < per; i++ {
+				a, b := src, dst
+				if rng.Uint64()&1 == 0 {
+					a, b = dst, src
+				}
+				base := rng.Uint64()%uint64(keys) + 1
+				independent := true
+				for j := range skeys {
+					skeys[j] = (base+uint64(j)*7)%uint64(keys) + 1
+					tkeys[j] = skeys[j]
+					for l := 0; l < j; l++ {
+						if skeys[l] == skeys[j] ||
+							a.SameChain(skeys[l], skeys[j]) || b.SameChain(tkeys[l], tkeys[j]) {
+							independent = false
+						}
+					}
+				}
+				if !independent {
+					continue
+				}
+				if th.TransferN(a, b, skeys, tkeys, nil) {
+					ok++
+				}
+			}
+			return ok
+		}
+		verify = func() {
+			got := 0
+			for k := 1; k <= keys; k++ {
+				_, inSrc := src.Contains(setup, uint64(k))
+				_, inDst := dst.Contains(setup, uint64(k))
+				if inSrc && inDst {
+					panic(fmt.Sprintf("harness: key %d visible in both maps", k))
+				}
+				if inSrc || inDst {
+					got++
+				}
+			}
+			if got != keys {
+				panic(fmt.Sprintf("harness: transfer cell lost keys: %d != %d", got, keys))
+			}
+		}
+
+	case DrainOp:
+		q := msqueue.New(setup)
+		s := tstack.New(setup)
+		for j := 0; j < o.Prefill; j++ {
+			q.Enqueue(setup, uint64(j))
+		}
+		body = func(w int, th *core.Thread, per int) uint64 {
+			out := make([]uint64, o.K)
+			var ok uint64
+			for i := 0; i < per; i++ {
+				if w%2 == 0 {
+					ok += uint64(th.DrainN(q, s, 0, 0, o.K, out))
+				} else if _, did := th.Move(s, q, 0, 0); did {
+					ok++
+				}
+			}
+			return ok
+		}
+		verify = func() {
+			if got := q.Len(setup) + s.Len(setup); got != o.Prefill {
+				panic(fmt.Sprintf("harness: drain cell lost tokens: %d != %d", got, o.Prefill))
+			}
+		}
+	}
+
+	perThread := o.TotalOps / o.Threads
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(o.Threads)
+	okBy := make([]uint64, o.Threads)
+	for w := 0; w < o.Threads; w++ {
+		th := rt.RegisterThread()
+		go func(w int, th *core.Thread) {
+			defer done.Done()
+			if o.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			start.Wait()
+			okBy[w] = body(w, th, perThread)
+			th.FlushMemory()
+		}(w, th)
+	}
+	t0 := time.Now()
+	start.Done()
+	done.Wait()
+	wall := time.Since(t0)
+	verify()
+	for _, n := range okBy {
+		okCount += n
+	}
+	return float64(wall.Nanoseconds()), okCount
+}

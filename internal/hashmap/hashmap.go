@@ -240,6 +240,24 @@ func hash(k uint64) uint64 {
 
 func (m *Map) shard(h uint64) *shard { return &m.shards[h&m.shardMask] }
 
+// SameChain reports whether key1 and key2 currently land in the same
+// bucket chain: same shard and same bucket index in that shard's
+// current table. Composed multi-key operations (core.TransferN) need
+// chain-independent keys — two linearization CASes in one chain can
+// target the same word, which cannot be captured twice by one k-word
+// CAS — so callers reject same-chain pairs up front (a data-dependent
+// condition, not a programming error). The answer is a snapshot, but a
+// concurrent grow only doubles the bucket count, which preserves
+// distinctness: keys in different chains stay in different chains.
+func (m *Map) SameChain(key1, key2 uint64) bool {
+	h1, h2 := hash(key1), hash(key2)
+	if h1&m.shardMask != h2&m.shardMask {
+		return false
+	}
+	tab := m.shard(h1).cur.Load()
+	return (h1>>m.shardBits)&tab.mask == (h2>>m.shardBits)&tab.mask
+}
+
 // Insert adds (key, val); false when the key exists, or when a
 // surrounding move aborts. A move targeting a mid-grow shard no longer
 // aborts outright: the insert routes to the successor table (see

@@ -94,7 +94,7 @@ func TestMovePreservesThreadReuse(t *testing.T) {
 	}
 	th.FlushMemory()
 	// 40k moves must not carve anywhere near 40k descriptors.
-	if carved := rt.DCASPool(); carved == nil {
+	if carved := rt.KCASPool(); carved == nil {
 		t.Fatal("pool missing")
 	}
 }

@@ -109,6 +109,75 @@ func TestMoveNValidation(t *testing.T) {
 	t.Fatal("thread unusable after rejected MoveN")
 }
 
+// insertOnly wraps a stack exposing only the Inserter half — the shape
+// of a target that can receive elements but was never meant to be a
+// Remover (e.g. an append-only sink).
+type insertOnly struct {
+	s *tstack.Stack
+}
+
+func (io *insertOnly) Insert(t *core.Thread, key, val uint64) bool {
+	return io.s.Insert(t, key, val)
+}
+
+// insertOnlyID additionally carries the wrapped object's identity.
+type insertOnlyID struct {
+	insertOnly
+}
+
+func (io *insertOnlyID) ObjectID() uint64 { return io.s.ObjectID() }
+
+// TestMoveNDuplicateInsertOnlyTarget pins the target-aliasing precheck
+// regression: the old precheck routed each prior target through a
+// Remover type assertion, which yields nil for insert-only targets, so
+// the pairwise-distinct check silently never fired and an aliased pair
+// slipped into the chain (surfacing only as a mid-chain shared-word
+// panic after the source remove had already been captured). The fixed
+// precheck compares target identities directly and must reject the
+// aliased pair up front, before anything is touched.
+func TestMoveNDuplicateInsertOnlyTarget(t *testing.T) {
+	rt := newRT(2)
+	th := rt.RegisterThread()
+	src := msqueue.New(th)
+	s := tstack.New(th)
+	src.Enqueue(th, 41)
+
+	same := &insertOnly{s: s}
+	withID := &insertOnlyID{insertOnly{s: s}}
+	otherID := &insertOnlyID{insertOnly{s: s}} // distinct wrapper, same object
+
+	for name, dsts := range map[string][]core.Inserter{
+		"same wrapper twice":         {same, same},
+		"distinct wrappers, same id": {withID, otherID},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: aliased insert-only targets must panic", name)
+				}
+				if msg, _ := r.(string); msg != "core: MoveN requires pairwise distinct targets" {
+					// A mid-chain shared-word panic here would mean the
+					// precheck regressed to the asRemover form.
+					t.Fatalf("%s: wrong panic %v; the precheck must fire before the chain runs", name, r)
+				}
+			}()
+			th.MoveN(src, dsts, 0, []uint64{0, 0})
+		}()
+		if src.Len(th) != 1 || s.Len(th) != 0 {
+			t.Fatalf("%s: rejected MoveN must leave the objects untouched", name)
+		}
+	}
+
+	// A single insert-only target remains legal, and the thread is intact.
+	if v, ok := th.MoveN(src, []core.Inserter{same}, 0, []uint64{0}); !ok || v != 41 {
+		t.Fatalf("single insert-only target: %d,%v", v, ok)
+	}
+	if v, _ := s.Pop(th); v != 41 {
+		t.Fatal("element missing from target after MoveN")
+	}
+}
+
 // TestMoveNConcurrentConservation: tokens are fanned out from a source
 // queue into n containers atomically; total token count must multiply
 // exactly by n, with every copy accounted.

@@ -1,4 +1,4 @@
-package mcas
+package kcas
 
 import (
 	"runtime"
@@ -9,13 +9,13 @@ import (
 	"repro/internal/word"
 )
 
-// TestMCASUnderABANoise pins the rdcssTry regression: a noise thread
-// flips one target word away from and back to the expected old value, so
+// TestKUnderABANoise pins the rdcssTry regression: a noise thread flips
+// one target word away from and back to the expected old value, so
 // install CASes frequently lose races while later loads see the old
 // value again. A buggy acquisition path would claim the entry without
 // installing, making phase 2 skip it — detected here by checking that a
-// successful MCAS really applied ALL of its entries.
-func TestMCASUnderABANoise(t *testing.T) {
+// successful k-word CAS really applied ALL of its entries.
+func TestKUnderABANoise(t *testing.T) {
 	const iterations = 30000
 	e := newEnv(3)
 	noiseCtx := e.ctxs[2]
@@ -25,7 +25,7 @@ func TestMCASUnderABANoise(t *testing.T) {
 	noiseB := val(2)
 	// Arm w3 before the noise starts: on a single-CPU box the noise
 	// goroutine may not run before the main loop's first iterations, and
-	// an uninitialized w3 (Nil) would fail every MCAS at slot 2.
+	// an uninitialized w3 (Nil) would fail every operation at slot 2.
 	w3.Store(oldA)
 
 	var stop atomic.Bool
@@ -34,10 +34,10 @@ func TestMCASUnderABANoise(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		// Duty-cycled noise: flip in bursts, then pause briefly. A
-		// continuous tight flip loop can starve every MCAS install on
-		// this word for the whole test (all 30000 iterations fail and
-		// the all-entries-applied assertion never runs); the pauses
-		// leave windows in which an MCAS can win while the bursts keep
+		// continuous tight flip loop can starve every install on this
+		// word for the whole test (all 30000 iterations fail and the
+		// all-entries-applied assertion never runs); the pauses leave
+		// windows in which an operation can win while the bursts keep
 		// exercising the install-race and helping paths.
 		const burst = 512
 		for flips := 0; !stop.Load(); flips++ {
@@ -46,12 +46,12 @@ func TestMCASUnderABANoise(t *testing.T) {
 					runtime.Gosched()
 				}
 			}
-			// Flip w3: oldA → noiseB → oldA. Readers mid-MCAS can catch
-			// either; an MCAS expecting oldA succeeds only if it wins
-			// the install race.
+			// Flip w3: oldA → noiseB → oldA. Readers mid-operation can
+			// catch either; an operation expecting oldA succeeds only if
+			// it wins the install race.
 			if !w3.CAS(oldA, noiseB) {
-				// An MCAS may have moved w3 to its new value; put the
-				// expected old back so the next attempt can run.
+				// An operation may have moved w3 to its new value; put
+				// the expected old back so the next attempt can run.
 				v := noiseCtx.Read(&w3)
 				w3.CAS(v, oldA)
 				continue
@@ -69,7 +69,7 @@ func TestMCASUnderABANoise(t *testing.T) {
 		n1 := val(1000 + uint64(i)<<2)
 		n2 := val(2000 + uint64(i)<<2)
 		n3 := val(3000 + uint64(i)<<2)
-		d, ref := c.Alloc()
+		d, ref := c.AllocK()
 		d.N = 3
 		d.Entries[0] = Entry{Ptr: &w1, Old: val(100), New: n1}
 		d.Entries[1] = Entry{Ptr: &w2, Old: val(200), New: n2}
@@ -83,7 +83,7 @@ func TestMCASUnderABANoise(t *testing.T) {
 			continue
 		}
 		applied++
-		// A successful MCAS must have applied EVERY entry.
+		// A successful k-word CAS must have applied EVERY entry.
 		if got := c.Read(&w1); got != n1 {
 			t.Fatalf("iteration %d: w1=%#x want %#x (entry skipped)", i, got, n1)
 		}
@@ -106,7 +106,7 @@ func TestMCASUnderABANoise(t *testing.T) {
 	stop.Store(true)
 	wg.Wait()
 	if applied == 0 {
-		t.Fatal("no MCAS succeeded under noise; test exercised nothing")
+		t.Fatal("no k-word CAS succeeded under noise; test exercised nothing")
 	}
 	t.Logf("applied %d/%d under ABA noise", applied, iterations)
 	c.Flush()

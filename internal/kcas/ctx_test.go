@@ -1,0 +1,222 @@
+package kcas
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/hazard"
+	"repro/internal/word"
+)
+
+// TestDescriptorPoolExhaustionPanics: descriptor capacity is a hard
+// resource; running out must fail loudly — naming the configured
+// capacity so the operator knows which knob to turn — not deadlock.
+func TestDescriptorPoolExhaustionPanics(t *testing.T) {
+	const capacity = carveBatch * 2
+	descDom := hazard.New(1, 3)
+	nodeDom := hazard.New(1, 8+2*MaxEntries)
+	pool := NewPool(capacity, descDom) // two carve batches only
+	c := NewCtx(pool, nodeDom, 0, testSlots)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		if !strings.Contains(msg, fmt.Sprintf("capacity %d", capacity)) {
+			t.Fatalf("exhaustion panic must report the configured capacity: %q", msg)
+		}
+	}()
+	for i := 0; ; i++ {
+		d, ref := c.AllocPair()
+		_ = d
+		_ = ref // never recycled
+		if i > capacity*2 {
+			t.Fatal("pool failed to enforce its limit")
+			return
+		}
+	}
+}
+
+// TestPoolCapacityHonoredExactly: the unified pool's budget is the
+// configured capacity — not, as with the split engines, one full budget
+// per protocol.
+func TestPoolCapacityHonoredExactly(t *testing.T) {
+	descDom := hazard.New(1, 3)
+	pool := NewPool(carveBatch*3, descDom)
+	if got := pool.Capacity(); got != carveBatch*3 {
+		t.Fatalf("Capacity=%d, want %d", got, carveBatch*3)
+	}
+	if got := NewPool(0, descDom).Capacity(); got != 1<<18 {
+		t.Fatalf("default Capacity=%d, want %d", got, 1<<18)
+	}
+}
+
+// TestPairAndKShareFreeRing: a thread alternating pair and general
+// operations must recycle through one ring — the mixed traffic stays
+// within a few carve batches instead of carving per protocol.
+func TestPairAndKShareFreeRing(t *testing.T) {
+	e := newEnv(1)
+	c := e.ctxs[0]
+	var w1, w2, w3 word.Word
+	for i := 0; i < 500; i++ {
+		w1.Store(val(1))
+		w2.Store(val(2))
+		w3.Store(val(3))
+		if res := runPair(c, &w1, &w2, val(1), val(4), val(2), val(5)); res != Success {
+			t.Fatalf("pair %d: %v", i, res)
+		}
+		w1.Store(val(1))
+		w2.Store(val(2))
+		ok, _ := runK(c,
+			[]*word.Word{&w1, &w2, &w3},
+			[]uint64{val(1), val(2), val(3)},
+			[]uint64{val(6), val(7), val(8)})
+		if !ok {
+			t.Fatalf("k-word %d failed", i)
+		}
+	}
+	c.Flush()
+	if got := e.pool.next.Load(); got > 4*carveBatch {
+		t.Fatalf("mixed traffic carved %d slots; pair and k-word must share one free ring", got)
+	}
+}
+
+// TestRetiredDescriptorsHeldWhileProtected: a descriptor referenced by
+// another thread's hpd slot must survive scans.
+func TestRetiredDescriptorsHeldWhileProtected(t *testing.T) {
+	descDom := hazard.New(2, 3)
+	nodeDom := hazard.New(2, 8+2*MaxEntries)
+	pool := NewPool(1<<12, descDom)
+	c := NewCtx(pool, nodeDom, 0, testSlots)
+
+	var w1, w2 word.Word
+	w1.Store(val(1))
+	w2.Store(val(2))
+	d, ref := c.AllocPair()
+	e1, e2 := &d.Entries[0], &d.Entries[1]
+	e1.Ptr, e1.Old, e1.New = &w1, val(1), val(3)
+	e2.Ptr, e2.Old, e2.New = &w2, val(2), val(4)
+	if c.ExecutePair(d, ref) != Success {
+		t.Fatal("setup DCAS failed")
+	}
+	// Thread 1 protects the descriptor slot (as a helper would).
+	descDom.Protect(1, 0, word.DescIndex(ref)+1)
+	c.Retire(d, ref)
+	for i := 0; i < 4; i++ {
+		c.scan()
+	}
+	if d.self.Load() == 0 {
+		t.Fatal("descriptor freed while hpd-protected")
+	}
+	// Release and confirm reclamation.
+	descDom.Clear(1, 0)
+	c.Flush()
+	if d.self.Load() != 0 {
+		t.Fatal("descriptor not freed after protection cleared")
+	}
+}
+
+// TestRetireScrubsStrayReference: a marked descriptor reference left in
+// ptr2 (the §7 late-ABA stray) must be scrubbed by Retire so the word
+// never reaches readers after the descriptor is recycled.
+func TestRetireScrubsStrayReference(t *testing.T) {
+	descDom := hazard.New(1, 3)
+	nodeDom := hazard.New(1, 8+2*MaxEntries)
+	pool := NewPool(1<<12, descDom)
+	c := NewCtx(pool, nodeDom, 0, testSlots)
+
+	var w1, w2 word.Word
+	w1.Store(val(1))
+	w2.Store(val(2))
+	d, ref := c.AllocPair()
+	e1, e2 := &d.Entries[0], &d.Entries[1]
+	e1.Ptr, e1.Old, e1.New = &w1, val(1), val(3)
+	e2.Ptr, e2.Old, e2.New = &w2, val(2), val(4)
+	if c.ExecutePair(d, ref) != Success {
+		t.Fatal("setup DCAS failed")
+	}
+	// Simulate a late helper's ABA install: ptr2 went back to old2 and a
+	// stalled helper re-installed its marked descriptor.
+	w2.Store(val(2))
+	stray := word.MarkDesc(ref, 0)
+	w2.Store(stray)
+
+	c.Retire(d, ref)
+	if got := w2.Load(); got != val(2) {
+		t.Fatalf("stray not scrubbed: w2=%#x", got)
+	}
+	c.Flush()
+	if d.self.Load() != 0 {
+		t.Fatal("descriptor not reclaimed after scrub")
+	}
+}
+
+// TestRetireScrubsKResidue: the general protocol's retire-time scrub
+// must clean both residue forms — a stranded full reference and a
+// stranded RDCSS sub-reference — before the descriptor recycles.
+func TestRetireScrubsKResidue(t *testing.T) {
+	e := newEnv(1)
+	c := e.ctxs[0]
+	var w1, w2 word.Word
+	w1.Store(val(1))
+	w2.Store(val(2))
+	d, ref := c.AllocK()
+	d.N = 2
+	d.Entries[0] = Entry{Ptr: &w1, Old: val(1), New: val(3)}
+	d.Entries[1] = Entry{Ptr: &w2, Old: val(2), New: val(4)}
+	if ok, _ := c.Execute(d, ref); !ok {
+		t.Fatal("setup k-word CAS failed")
+	}
+	// Strand a full reference in w1 and an RDCSS sub-reference in w2.
+	w1.Store(ref)
+	w2.Store(rdcssRef(ref, 1))
+	c.Retire(d, ref)
+	if got := w1.Load(); got != val(3) {
+		t.Fatalf("full-reference residue not released: w1=%#x", got)
+	}
+	if got := w2.Load(); got != val(2) {
+		t.Fatalf("RDCSS residue not reverted: w2=%#x", got)
+	}
+	c.Flush()
+	if d.self.Load() != 0 {
+		t.Fatal("descriptor not reclaimed after scrub")
+	}
+}
+
+// TestReadCleansResidueAfterDecision: a reader encountering a decided
+// descriptor's residue must restore the word and return a plain value.
+func TestReadCleansResidueAfterDecision(t *testing.T) {
+	descDom := hazard.New(1, 3)
+	nodeDom := hazard.New(1, 8+2*MaxEntries)
+	pool := NewPool(1<<12, descDom)
+	c := NewCtx(pool, nodeDom, 0, testSlots)
+
+	var w1, w2 word.Word
+	w1.Store(val(1))
+	w2.Store(val(2))
+	d, ref := c.AllocPair()
+	e1, e2 := &d.Entries[0], &d.Entries[1]
+	e1.Ptr, e1.Old, e1.New = &w1, val(1), val(3)
+	e2.Ptr, e2.Old, e2.New = &w2, val(2), val(4)
+	if c.ExecutePair(d, ref) != Success {
+		t.Fatal("setup DCAS failed")
+	}
+	// Plant a stray marked ref (live descriptor, decided): the reader
+	// must help through it via lines D4–D6 and end with a plain value.
+	w2.Store(val(2))
+	w2.Store(word.MarkDesc(ref, 0))
+	if got := c.Read(&w2); got != val(2) {
+		t.Fatalf("Read returned %#x, want scrubbed old value", got)
+	}
+	_, strays, _ := pool.Stats()
+	if strays == 0 {
+		t.Fatal("stray cleanup not counted")
+	}
+	c.Retire(d, ref)
+	c.Flush()
+}

@@ -1,8 +1,68 @@
-package mcas
+package kcas
 
-import "repro/internal/word"
+import (
+	"fmt"
+	"reflect"
 
-// run drives the MCAS to a decision and releases its words; both
+	"repro/internal/word"
+)
+
+// The general k-word path: Harris/Fraser/Pratt CASN with inline RDCSS
+// sub-descriptors. See the package comment for the construction.
+
+// rdcssRef builds the reference encoding the RDCSS sub-descriptor for
+// entry i of the operation referenced by mref.
+func rdcssRef(mref uint64, i int) uint64 {
+	return word.MarkDesc(word.MakeDesc(word.KindRDCSS, word.DescIndex(mref), word.DescSeq(mref)), i)
+}
+
+// kRefOf recovers the full KindMCAS reference from one of its RDCSS
+// references.
+func kRefOf(rref uint64) uint64 {
+	return word.MakeDesc(word.KindMCAS, word.DescIndex(rref), word.DescSeq(rref))
+}
+
+// entryOf recovers the entry index from an RDCSS reference.
+func entryOf(rref uint64) int { return int(word.DescTID(rref)) - 1 }
+
+// wordAddr gives a total order over words without package unsafe;
+// reflect is only used off the fast path (once per Execute, never while
+// helping).
+func wordAddr(w *word.Word) uintptr { return reflect.ValueOf(w).Pointer() }
+
+// Execute runs the k-word CAS described by d as initiator. d must come
+// from AllocK on this context, with Entries[0..N) populated and
+// targeting pairwise distinct words. On failure it reports the index of
+// the entry whose word did not match.
+func (c *Ctx) Execute(d *Desc, ref uint64) (bool, int) {
+	if d.N < 1 || d.N > MaxEntries {
+		panic(fmt.Sprintf("kcas: %d entries out of range", d.N))
+	}
+	for i := 0; i < d.N; i++ {
+		d.order[i] = uint8(i)
+		for j := 0; j < i; j++ {
+			if d.Entries[i].Ptr == d.Entries[j].Ptr {
+				panic("kcas: duplicate target word; operations must be on distinct objects")
+			}
+		}
+	}
+	// Phase-1 acquisition order: ascending address, so concurrent
+	// operations over overlapping word sets cannot chase each other in a
+	// cycle.
+	ord := d.order[:d.N]
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && wordAddr(d.Entries[ord[j]].Ptr) < wordAddr(d.Entries[ord[j-1]].Ptr); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	st := c.run(d, ref)
+	if st == statusSuccess {
+		return true, -1
+	}
+	return false, failedIndex(st)
+}
+
+// run drives the operation to a decision and releases its words; both
 // initiators and helpers execute it. ref is the unmarked KindMCAS
 // reference.
 func (c *Ctx) run(d *Desc, ref uint64) uint64 {
@@ -10,9 +70,9 @@ func (c *Ctx) run(d *Desc, ref uint64) uint64 {
 		desired := statusSuccess
 	phase1:
 		for _, i := range d.order[:d.N] {
-			e := &d.Entries[i]
+			e := &d.Entries[int(i)]
 			for {
-				v := c.rdcssTry(d, ref, i)
+				v := c.rdcssTry(d, ref, int(i))
 				if v == e.Old || word.SameDesc(v, ref) {
 					// Acquired (or already acquired by a helper).
 					break
@@ -22,9 +82,10 @@ func (c *Ctx) run(d *Desc, ref uint64) uint64 {
 					case word.KindMCAS:
 						c.HelpRef(e.Ptr, v) // help the other operation, retry
 					case word.KindDCAS:
-						if c.foreign != nil {
-							c.foreign(e.Ptr, v)
-						}
+						// A pair operation owns the word: help it through
+						// the same engine (this is what the foreign-help
+						// hook existed for when the engines were split).
+						c.HelpPairRef(e.Ptr, v)
 					case word.KindRDCSS:
 						c.CompleteRDCSS(e.Ptr, v)
 					}
@@ -34,7 +95,7 @@ func (c *Ctx) run(d *Desc, ref uint64) uint64 {
 					continue
 				}
 				// Plain value mismatch: this entry's operation failed.
-				desired = statusFailed(i)
+				desired = statusFailed(int(i))
 				break phase1
 			}
 			if d.status.Load() != statusUndecided {
@@ -95,8 +156,8 @@ func (c *Ctx) rdcssTry(d *Desc, mref uint64, i int) uint64 {
 // undecided the word becomes the full descriptor reference, otherwise it
 // reverts to the old value. A promotion that races the decision can
 // strand the descriptor reference in the word; phase 2 retries by
-// helpers and the retire-time scrub clean it up, exactly like the DCAS's
-// lazy stray cleanup.
+// helpers and the retire-time scrub clean it up, exactly like the pair
+// protocol's lazy stray cleanup.
 func (c *Ctx) promote(d *Desc, mref uint64, i int) {
 	e := &d.Entries[i]
 	rref := rdcssRef(mref, i)
@@ -117,13 +178,13 @@ func (c *Ctx) promote(d *Desc, mref uint64, i int) {
 	}
 }
 
-// HelpRef helps the MCAS whose (possibly foreign) reference v was found
-// in word w: protect, revalidate the word, validate descriptor identity,
-// mirror the initiator's hazard pointers, then run.
+// HelpRef helps the k-word operation whose (possibly foreign) reference
+// v was found in word w: protect, revalidate the word, validate
+// descriptor identity, mirror the initiator's hazard pointers, then run.
 func (c *Ctx) HelpRef(w *word.Word, v uint64) {
 	idx := word.DescIndex(v)
-	c.pool.dom.Protect(c.tid, c.hpdSlot, idx+1)
-	defer c.pool.dom.Clear(c.tid, c.hpdSlot)
+	c.pool.dom.Protect(c.tid, c.slots.KHPD, idx+1)
+	defer c.pool.dom.Clear(c.tid, c.slots.KHPD)
 	if w.Load() != v {
 		return
 	}
@@ -133,26 +194,27 @@ func (c *Ctx) HelpRef(w *word.Word, v uint64) {
 		return
 	}
 	for i := 0; i < d.N && i < MaxEntries; i++ {
-		c.nodeDom.Protect(c.tid, c.mirrorBase+i, d.Entries[i].HP)
+		c.nodeDom.Protect(c.tid, c.slots.KMirrorBase+i, d.Entries[i].HP)
 	}
-	c.pool.helps.Add(1)
+	c.pool.khelps.Add(1)
 	c.run(d, mref)
 	for i := 0; i < MaxEntries; i++ {
-		c.nodeDom.Clear(c.tid, c.mirrorBase+i)
+		c.nodeDom.Clear(c.tid, c.slots.KMirrorBase+i)
 	}
 }
 
 // CompleteRDCSS resolves an RDCSS reference found in a word: recover the
-// owning MCAS, validate it, and promote or revert the sub-descriptor.
+// owning operation, validate it, and promote or revert the
+// sub-descriptor.
 func (c *Ctx) CompleteRDCSS(w *word.Word, rref uint64) {
 	idx := word.DescIndex(rref)
-	c.pool.dom.Protect(c.tid, c.rdcssSlot, idx+1)
-	defer c.pool.dom.Clear(c.tid, c.rdcssSlot)
+	c.pool.dom.Protect(c.tid, c.slots.RDCSSHPD, idx+1)
+	defer c.pool.dom.Clear(c.tid, c.slots.RDCSSHPD)
 	if w.Load() != rref {
 		return
 	}
 	d := c.pool.At(idx)
-	mref := mcasRefOf(rref)
+	mref := kRefOf(rref)
 	if d.self.Load() != mref {
 		return
 	}
@@ -163,19 +225,19 @@ func (c *Ctx) CompleteRDCSS(w *word.Word, rref uint64) {
 	c.promote(d, mref, i)
 }
 
-// Read returns the value of *w after helping any MCAS or RDCSS
-// descriptor announced there. DCAS references are left to the caller's
-// dispatcher.
+// Read is the read operation of Algorithm 4 (lines D32–D39) extended to
+// every descriptor kind the engine can announce: it helps any pair,
+// k-word or RDCSS descriptor found in w and returns a plain value.
 func (c *Ctx) Read(w *word.Word) uint64 {
 	v := w.Load()
 	for word.IsDesc(v) {
 		switch word.DescKind(v) {
+		case word.KindDCAS:
+			c.HelpPairRef(w, v)
 		case word.KindMCAS:
 			c.HelpRef(w, v)
 		case word.KindRDCSS:
 			c.CompleteRDCSS(w, v)
-		default:
-			return v // DCAS: caller dispatches
 		}
 		v = w.Load()
 	}

@@ -1,33 +1,14 @@
-package mcas
+package kcas
 
 import (
 	"sync"
 	"testing"
 
-	"repro/internal/hazard"
 	"repro/internal/word"
 )
 
-type env struct {
-	pool    *Pool
-	nodeDom *hazard.Domain
-	ctxs    []*Ctx
-}
-
-func newEnv(threads int) *env {
-	e := &env{nodeDom: hazard.New(threads, 8+MaxEntries)}
-	descDom := hazard.New(threads, 2)
-	e.pool = NewPool(1<<12, descDom)
-	for i := 0; i < threads; i++ {
-		e.ctxs = append(e.ctxs, NewCtx(e.pool, e.nodeDom, i, 0, 1, 8))
-	}
-	return e
-}
-
-func val(i uint64) uint64 { return word.MakeNode(100+i, 0) }
-
-func runMCAS(c *Ctx, words []*word.Word, olds, news []uint64) (bool, int) {
-	d, ref := c.Alloc()
+func runK(c *Ctx, words []*word.Word, olds, news []uint64) (bool, int) {
+	d, ref := c.AllocK()
 	d.N = len(words)
 	for i := range words {
 		d.Entries[i] = Entry{Ptr: words[i], Old: olds[i], New: news[i]}
@@ -37,7 +18,7 @@ func runMCAS(c *Ctx, words []*word.Word, olds, news []uint64) (bool, int) {
 	return ok, failed
 }
 
-func TestMCASSequentialSemantics(t *testing.T) {
+func TestKSequentialSemantics(t *testing.T) {
 	e := newEnv(1)
 	c := e.ctxs[0]
 	for n := 1; n <= MaxEntries; n++ {
@@ -50,9 +31,9 @@ func TestMCASSequentialSemantics(t *testing.T) {
 			olds[i] = val(uint64(i))
 			news[i] = val(uint64(100 + i))
 		}
-		ok, _ := runMCAS(c, words, olds, news)
+		ok, _ := runK(c, words, olds, news)
 		if !ok {
-			t.Fatalf("n=%d: matching MCAS must succeed", n)
+			t.Fatalf("n=%d: matching k-word CAS must succeed", n)
 		}
 		for i := 0; i < n; i++ {
 			if words[i].Load() != news[i] {
@@ -62,7 +43,7 @@ func TestMCASSequentialSemantics(t *testing.T) {
 	}
 }
 
-func TestMCASFailureReportsSlotAndChangesNothing(t *testing.T) {
+func TestKFailureReportsSlotAndChangesNothing(t *testing.T) {
 	e := newEnv(1)
 	c := e.ctxs[0]
 	for bad := 0; bad < 4; bad++ {
@@ -76,7 +57,7 @@ func TestMCASFailureReportsSlotAndChangesNothing(t *testing.T) {
 			news[i] = val(uint64(50 + i))
 		}
 		olds[bad] = val(999) // mismatch at slot `bad`
-		ok, failed := runMCAS(c, words, olds, news)
+		ok, failed := runK(c, words, olds, news)
 		if ok {
 			t.Fatalf("bad=%d: must fail", bad)
 		}
@@ -91,7 +72,7 @@ func TestMCASFailureReportsSlotAndChangesNothing(t *testing.T) {
 	}
 }
 
-func TestMCASDuplicateWordPanics(t *testing.T) {
+func TestKDuplicateWordPanics(t *testing.T) {
 	e := newEnv(1)
 	c := e.ctxs[0]
 	w := &word.Word{}
@@ -101,22 +82,12 @@ func TestMCASDuplicateWordPanics(t *testing.T) {
 			t.Fatal("duplicate words must panic")
 		}
 	}()
-	runMCAS(c, []*word.Word{w, w}, []uint64{val(1), val(1)}, []uint64{val(2), val(3)})
+	runK(c, []*word.Word{w, w}, []uint64{val(1), val(1)}, []uint64{val(2), val(3)})
 }
 
-func TestMCASReadHelpsThrough(t *testing.T) {
-	e := newEnv(1)
-	c := e.ctxs[0]
-	var w word.Word
-	w.Store(val(5))
-	if got := c.Read(&w); got != val(5) {
-		t.Fatalf("Read=%#x", got)
-	}
-}
-
-// TestMCASConcurrentChains mirrors the DCAS history test: concurrent
-// 3-word MCASes over a word pool; successful transitions must chain.
-func TestMCASConcurrentChains(t *testing.T) {
+// TestKConcurrentChains mirrors the pair history test: concurrent
+// 3-word operations over a word pool; successful transitions must chain.
+func TestKConcurrentChains(t *testing.T) {
 	const threads = 8
 	const wordsN = 6
 	const opsPer = 1500
@@ -156,7 +127,7 @@ func TestMCASConcurrentChains(t *testing.T) {
 					olds[k] = c.Read(&words[idx[k]])
 					news[k] = val(1<<22 | uint64(tid)<<26 | uint64(op)<<4 | uint64(k))
 				}
-				ok, _ := runMCAS(c,
+				ok, _ := runK(c,
 					[]*word.Word{&words[idx[0]], &words[idx[1]], &words[idx[2]]},
 					olds[:], news[:])
 				if ok {
@@ -185,7 +156,7 @@ func TestMCASConcurrentChains(t *testing.T) {
 		}
 	}
 	if total == 0 {
-		t.Fatal("no MCAS succeeded")
+		t.Fatal("no k-word CAS succeeded")
 	}
 	for i := range words {
 		cur := val(uint64(1000 + i))
@@ -204,13 +175,13 @@ func TestMCASConcurrentChains(t *testing.T) {
 			t.Fatalf("word %d: %d dangling transitions", i, len(perWord[i]))
 		}
 	}
-	t.Logf("successes=%d helps=%d", total, e.pool.Helps())
+	t.Logf("successes=%d khelps=%d", total, e.pool.KHelps())
 }
 
-// TestMCASOverlappingPairsNoDeadlock: two word sets overlapping in one
+// TestKOverlappingPairsNoDeadlock: two word sets overlapping in one
 // word, hammered in opposite orders — the address-ordered phase 1 plus
 // helping must guarantee progress.
-func TestMCASOverlappingPairsNoDeadlock(t *testing.T) {
+func TestKOverlappingPairsNoDeadlock(t *testing.T) {
 	const threads = 4
 	const opsPer = 4000
 	e := newEnv(threads)
@@ -236,7 +207,7 @@ func TestMCASOverlappingPairsNoDeadlock(t *testing.T) {
 				o2 := cx.Read(w2)
 				n1 := val(2<<22 | uint64(tid)<<26 | uint64(op)<<4)
 				n2 := val(3<<22 | uint64(tid)<<26 | uint64(op)<<4)
-				if ok, _ := runMCAS(cx, []*word.Word{w1, w2}, []uint64{o1, o2}, []uint64{n1, n2}); ok {
+				if ok, _ := runK(cx, []*word.Word{w1, w2}, []uint64{o1, o2}, []uint64{n1, n2}); ok {
 					successes[tid]++
 				}
 			}
@@ -251,20 +222,58 @@ func TestMCASOverlappingPairsNoDeadlock(t *testing.T) {
 	}
 }
 
-func TestDescriptorRecyclingMCAS(t *testing.T) {
+func TestKDescriptorRecycling(t *testing.T) {
 	e := newEnv(1)
 	c := e.ctxs[0]
 	var w1, w2 word.Word
 	for i := 0; i < 500; i++ {
 		w1.Store(val(1))
 		w2.Store(val(2))
-		ok, _ := runMCAS(c, []*word.Word{&w1, &w2}, []uint64{val(1), val(2)}, []uint64{val(3), val(4)})
+		ok, _ := runK(c, []*word.Word{&w1, &w2}, []uint64{val(1), val(2)}, []uint64{val(3), val(4)})
 		if !ok {
-			t.Fatal("sequential MCAS failed")
+			t.Fatal("sequential k-word CAS failed")
 		}
 	}
 	c.Flush()
 	if e.pool.next.Load() > 64 {
 		t.Fatalf("descriptor leak: %d slots carved for 500 sequential ops", e.pool.next.Load())
 	}
+}
+
+// TestCrossKindHelping: a general operation that finds a pair
+// descriptor in its word must help it through the unified engine (the
+// split engines needed a registered foreign-help hook for this; the
+// unified one dispatches on the reference kind internally).
+func TestCrossKindHelping(t *testing.T) {
+	e := newEnv(2)
+	c0, c1 := e.ctxs[0], e.ctxs[1]
+	var w1, w2, w3 word.Word
+	w1.Store(val(1))
+	w2.Store(val(2))
+	w3.Store(val(3))
+	// Announce a pair operation in w1/w2 but stop before helping it to
+	// completion: install the unmarked reference in w1 by hand-running
+	// only the announce step.
+	d, ref := c0.AllocPair()
+	e1, e2 := &d.Entries[0], &d.Entries[1]
+	e1.Ptr, e1.Old, e1.New = &w1, val(1), val(4)
+	e2.Ptr, e2.Old, e2.New = &w2, val(2), val(5)
+	if !w1.CAS(val(1), ref) {
+		t.Fatal("announce failed")
+	}
+	// A k-word CAS targeting w1 must help the pair to completion and
+	// then succeed against its post-help value.
+	ok, _ := runK(c1, []*word.Word{&w1, &w3}, []uint64{val(4), val(3)}, []uint64{val(6), val(7)})
+	if !ok {
+		t.Fatal("k-word CAS expecting the pair's new value must succeed after helping")
+	}
+	if got := c1.Read(&w2); got != val(5) {
+		t.Fatalf("pair not helped to completion: w2=%#x", got)
+	}
+	if d.status.Load() != statusSuccess {
+		t.Fatal("pair status not decided by helper")
+	}
+	c0.Retire(d, ref)
+	c0.Flush()
+	c1.Flush()
 }

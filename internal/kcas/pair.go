@@ -1,4 +1,4 @@
-package dcas
+package kcas
 
 import (
 	"fmt"
@@ -6,42 +6,45 @@ import (
 	"repro/internal/word"
 )
 
-// Execute runs the DCAS described by d as the initiating process (line
-// D1 with initiator = true). d must have been obtained from Alloc on
-// this context and fully populated (Ptr1..New2, optionally HP1/HP2).
+// ExecutePair runs the DCAS described by d as the initiating process
+// (line D1 with initiator = true). d must have been obtained from
+// AllocPair on this context and fully populated (Entries[0] = ptr1 side,
+// Entries[1] = ptr2 side, optionally their HPs).
 //
 // The caller remains responsible for recycling d afterwards: FreeDirect
 // when the result is FirstFailed (the descriptor was never announced),
 // Retire otherwise.
-func (c *Ctx) Execute(d *Desc, ref uint64) Result {
+func (c *Ctx) ExecutePair(d *Desc, ref uint64) Result {
 	return c.dcas(d, ref, true)
 }
 
 // dcas is Algorithm 4. The paper writes cas(addr, new, old); every CAS
 // below uses Go order, CAS(addr, old, new). Line numbers D2..D31 refer
-// to the paper's listing.
+// to the paper's listing. The descriptor's status word is the paper's
+// res field.
 func (c *Ctx) dcas(d *Desc, ref uint64, initiator bool) Result {
+	e1, e2 := &d.Entries[0], &d.Entries[1]
 	if !initiator { // D2
 		// D3: mirror the initiator's hazard pointers into this thread's
 		// node slots. If res is still undecided below, the initiating
 		// process is still inside its operation and holds its own
 		// protections, so these mirrors become visible to any future
 		// hazard scan before the initiator's slots are cleared (Lemma 6).
-		c.nodeDom.Protect(c.tid, c.mirror1, d.HP1)
-		c.nodeDom.Protect(c.tid, c.mirror2, d.HP2)
+		c.nodeDom.Protect(c.tid, c.slots.PairMirror1, e1.HP)
+		c.nodeDom.Protect(c.tid, c.slots.PairMirror2, e2.HP)
 	}
 
-	if r := d.res.Load(); r == resSuccess || r == resSecondFailed { // D4
+	if r := d.status.Load(); r == statusSuccess || r == statusSecondFailed { // D4
 		// The operation is decided; only lazy cleanup of a residual
 		// descriptor reference remains. A marked reference was found in
 		// ptr2 (only line D14 installs marked refs), an unmarked one in
 		// ptr1 (only line D10 installs unmarked refs).
 		if word.IsMarkedDesc(ref) { // D5
-			if d.Ptr2.CAS(ref, d.Old2) { // D6
+			if e2.Ptr.CAS(ref, e2.Old) { // D6
 				c.pool.strayCleanups.Add(1)
 			}
 		} else if !initiator {
-			if d.Ptr1.CAS(ref, d.Old1) { // D8
+			if e1.Ptr.CAS(ref, e1.Old) { // D8
 				c.pool.strayCleanups.Add(1)
 			}
 		}
@@ -49,26 +52,26 @@ func (c *Ctx) dcas(d *Desc, ref uint64, initiator bool) Result {
 	}
 
 	if initiator {
-		if !d.Ptr1.CAS(d.Old1, ref) { // D10: announce
+		if !e1.Ptr.CAS(e1.Old, ref) { // D10: announce
 			return FirstFailed // D11: never announced; nobody will help
 		}
 	}
 
 	mdesc := word.MarkDesc(ref, c.tid) // D13
-	p2set := d.Ptr2.CAS(d.Old2, mdesc) // D14
+	p2set := e2.Ptr.CAS(e2.Old, mdesc) // D14
 	if !p2set {                        // D15
-		cur := d.Ptr2.Load() // D16
+		cur := e2.Ptr.Load() // D16
 		if !word.SameDesc(cur, ref) {
 			// ptr2 does not hold this descriptor in any form: the CAS
 			// failed because *ptr2 != old2. Try to declare failure.
-			d.res.CAS(resUndecided, resSecondFailed) // D17
+			d.status.CAS(statusUndecided, statusSecondFailed) // D17
 		}
-		switch r := d.res.Load(); r {
-		case resSuccess:
+		switch r := d.status.Load(); r {
+		case statusSuccess:
 			return Success // D18–D19
-		case resSecondFailed: // D20
+		case statusSecondFailed: // D20
 			// Revert the announcement (ptr1 holds the unmarked ref).
-			d.Ptr1.CAS(word.UnmarkDesc(ref), d.Old1) // D21
+			e1.Ptr.CAS(word.UnmarkDesc(ref), e1.Old) // D21
 			return SecondFailed                      // D22
 		}
 		// Some process's marked descriptor is (or was) pinned in ptr2.
@@ -77,69 +80,50 @@ func (c *Ctx) dcas(d *Desc, ref uint64, initiator bool) Result {
 		// line D29 strand ptr2 (see DESIGN.md §3.2). Before the decision
 		// the pinned descriptor is unique, so cur is the right witness.
 		if word.SameDesc(cur, ref) && word.IsMarkedDesc(cur) {
-			d.res.CAS(resUndecided, cur) // D24 (observed form)
+			d.status.CAS(statusUndecided, cur) // D24 (observed form)
 		}
 	} else {
 		// Our marked descriptor reached ptr2; race to make it the
 		// decision witness.
-		d.res.CAS(resUndecided, mdesc) // D24
+		d.status.CAS(statusUndecided, mdesc) // D24
 	}
 
-	r := d.res.Load()
-	if r == resSecondFailed { // D25
+	r := d.status.Load()
+	if r == statusSecondFailed { // D25
 		if p2set {
 			// We installed our marked descriptor but were not first to
 			// set res: change ptr2 back to its old value (Lemma 3).
-			if d.Ptr2.CAS(mdesc, d.Old2) {
+			if e2.Ptr.CAS(mdesc, e2.Old) {
 				c.pool.lateP2.Add(1)
 			}
 		}
 		return SecondFailed // D27
 	}
 	// r is a marked descriptor (the witness) or already SUCCESS.
-	d.Ptr1.CAS(word.UnmarkDesc(ref), d.New1) // D28
+	e1.Ptr.CAS(word.UnmarkDesc(ref), e1.New) // D28
 	if word.IsDesc(r) {
-		d.Ptr2.CAS(r, d.New2) // D29: only the witness form can succeed here
+		e2.Ptr.CAS(r, e2.New) // D29: only the witness form can succeed here
 	}
-	d.res.Store(resSuccess) // D30
-	return Success          // D31
+	d.status.Store(statusSuccess) // D30
+	return Success                // D31
 }
 
-// Carved reports how many descriptor slots the pool's bump allocator
-// has handed out; a flat count under sustained load means recycling is
-// keeping up (tests and diagnostics).
-func (p *Pool) Carved() uint64 { return p.next.Load() }
-
 func resultOf(res uint64) Result {
-	if res == resSuccess {
+	if res == statusSuccess {
 		return Success
 	}
 	return SecondFailed
 }
 
-// Read is the read operation of Algorithm 4 (lines D32–D39): it returns
-// the value of *w, first helping any DCAS whose descriptor is announced
-// there. Values returned never encode a DCAS descriptor (they may encode
-// descriptors of other kinds; callers that can meet those route through
-// a dispatcher, see core.Thread.Read).
-func (c *Ctx) Read(w *word.Word) uint64 {
-	v := w.Load()                                             // D33
-	for word.IsDesc(v) && word.DescKind(v) == word.KindDCAS { // D34
-		c.HelpRef(w, v) // D35–D37
-		v = w.Load()    // D38
-	}
-	return v // D39
-}
-
-// HelpRef performs one protected helping attempt for the descriptor
-// reference v found in word w: protect with hpd (D35), revalidate that w
-// still holds v (D36), validate the descriptor's identity, then help
-// (D37). It returns without action when validation fails; the caller
-// re-reads w.
-func (c *Ctx) HelpRef(w *word.Word, v uint64) {
+// HelpPairRef performs one protected helping attempt for the pair
+// descriptor reference v found in word w: protect with hpd (D35),
+// revalidate that w still holds v (D36), validate the descriptor's
+// identity, then help (D37). It returns without action when validation
+// fails; the caller re-reads w.
+func (c *Ctx) HelpPairRef(w *word.Word, v uint64) {
 	idx := word.DescIndex(v)
-	c.pool.dom.Protect(c.tid, c.hpdSlot, idx+1) // D35: hpd ← result
-	defer c.pool.dom.Clear(c.tid, c.hpdSlot)
+	c.pool.dom.Protect(c.tid, c.slots.PairHPD, idx+1) // D35: hpd ← result
+	defer c.pool.dom.Clear(c.tid, c.slots.PairHPD)
 	if w.Load() != v { // D36: if hpd = *ptr
 		return
 	}
@@ -153,15 +137,15 @@ func (c *Ctx) HelpRef(w *word.Word, v uint64) {
 	}
 	c.pool.helps.Add(1)
 	c.dcas(d, v, false) // D37: help
-	c.nodeDom.Clear(c.tid, c.mirror1)
-	c.nodeDom.Clear(c.tid, c.mirror2)
+	c.nodeDom.Clear(c.tid, c.slots.PairMirror1)
+	c.nodeDom.Clear(c.tid, c.slots.PairMirror2)
 }
 
 // stuckSpins bounds how often a stale descriptor reference may be
 // re-observed in the same word before we declare a reclamation invariant
 // violation. A stale reference can legitimately be observed while its
 // cleanup CAS is in flight, but it cannot persist: the retire path
-// scrubs both target words before a descriptor is freed.
+// scrubs every target word before a descriptor is freed.
 const stuckSpins = 1 << 22
 
 // stuckState is per-context diagnostic state for checkStuck.
@@ -175,7 +159,7 @@ func (c *Ctx) checkStuck(w *word.Word, v uint64) {
 	if c.stuck.w == w && c.stuck.v == v {
 		c.stuck.count++
 		if c.stuck.count > stuckSpins {
-			panic(fmt.Sprintf("dcas: stale descriptor reference %#x pinned in word; reclamation invariant violated", v))
+			panic(fmt.Sprintf("kcas: stale descriptor reference %#x pinned in word; reclamation invariant violated", v))
 		}
 		return
 	}

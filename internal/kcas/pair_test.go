@@ -1,4 +1,4 @@
-package dcas
+package kcas
 
 import (
 	"sync"
@@ -7,6 +7,9 @@ import (
 	"repro/internal/hazard"
 	"repro/internal/word"
 )
+
+// testSlots mirrors core's slot assignment.
+var testSlots = Slots{PairHPD: 0, KHPD: 1, RDCSSHPD: 2, PairMirror1: 6, PairMirror2: 7, KMirrorBase: 8}
 
 // testEnv wires a pool with per-thread contexts, mimicking what
 // core.Runtime does.
@@ -19,12 +22,12 @@ type testEnv struct {
 
 func newEnv(threads int) *testEnv {
 	e := &testEnv{
-		nodeDom: hazard.New(threads, 8),
-		descDom: hazard.New(threads, 2),
+		nodeDom: hazard.New(threads, 8+2*MaxEntries),
+		descDom: hazard.New(threads, 3),
 	}
 	e.pool = NewPool(1<<14, e.descDom)
 	for i := 0; i < threads; i++ {
-		e.ctxs = append(e.ctxs, NewCtx(e.pool, e.nodeDom, i, 0, 6, 7))
+		e.ctxs = append(e.ctxs, NewCtx(e.pool, e.nodeDom, i, testSlots))
 	}
 	return e
 }
@@ -32,11 +35,12 @@ func newEnv(threads int) *testEnv {
 // val builds a plain (node-reference) value safe for test words.
 func val(i uint64) uint64 { return word.MakeNode(100+i, 0) }
 
-func runDCAS(c *Ctx, w1, w2 *word.Word, o1, n1, o2, n2 uint64) Result {
-	d, ref := c.Alloc()
-	d.Ptr1, d.Old1, d.New1 = w1, o1, n1
-	d.Ptr2, d.Old2, d.New2 = w2, o2, n2
-	res := c.Execute(d, ref)
+func runPair(c *Ctx, w1, w2 *word.Word, o1, n1, o2, n2 uint64) Result {
+	d, ref := c.AllocPair()
+	e1, e2 := &d.Entries[0], &d.Entries[1]
+	e1.Ptr, e1.Old, e1.New = w1, o1, n1
+	e2.Ptr, e2.Old, e2.New = w2, o2, n2
+	res := c.ExecutePair(d, ref)
 	if res == FirstFailed {
 		c.FreeDirect(d, ref)
 	} else {
@@ -45,7 +49,7 @@ func runDCAS(c *Ctx, w1, w2 *word.Word, o1, n1, o2, n2 uint64) Result {
 	return res
 }
 
-func TestDCASSemanticsSequential(t *testing.T) {
+func TestPairSemanticsSequential(t *testing.T) {
 	e := newEnv(1)
 	c := e.ctxs[0]
 	cases := []struct {
@@ -64,7 +68,7 @@ func TestDCASSemanticsSequential(t *testing.T) {
 			var w1, w2 word.Word
 			w1.Store(tc.w1)
 			w2.Store(tc.w2)
-			res := runDCAS(c, &w1, &w2, tc.o1, val(11), tc.o2, val(12))
+			res := runPair(c, &w1, &w2, tc.o1, val(11), tc.o2, val(12))
 			if res != tc.want {
 				t.Fatalf("result %v, want %v", res, tc.want)
 			}
@@ -81,33 +85,18 @@ func TestDCASSemanticsSequential(t *testing.T) {
 	}
 }
 
-func TestDCASWithNilValues(t *testing.T) {
+func TestPairWithNilValues(t *testing.T) {
 	// The queue's enqueue DCASes tail.next from nil; exercise old = 0.
 	e := newEnv(1)
 	c := e.ctxs[0]
 	var w1, w2 word.Word
 	w1.Store(val(1))
 	w2.Store(word.Nil)
-	if res := runDCAS(c, &w1, &w2, val(1), val(3), word.Nil, val(4)); res != Success {
+	if res := runPair(c, &w1, &w2, val(1), val(3), word.Nil, val(4)); res != Success {
 		t.Fatalf("result %v", res)
 	}
 	if w2.Load() != val(4) {
 		t.Fatal("nil old2 not replaced")
-	}
-}
-
-func TestDCASSamePointerPanicsViaCore(t *testing.T) {
-	// Guarded at the core layer; at this layer a same-word DCAS would
-	// misbehave, so the descriptor must never be built that way. This
-	// test documents the invariant by asserting distinct-words succeed
-	// immediately after an aborted attempt pattern.
-	e := newEnv(1)
-	c := e.ctxs[0]
-	var w1, w2 word.Word
-	w1.Store(val(1))
-	w2.Store(val(2))
-	if res := runDCAS(c, &w1, &w2, val(1), val(5), val(2), val(6)); res != Success {
-		t.Fatalf("result %v", res)
 	}
 }
 
@@ -120,14 +109,14 @@ func TestReadSeesPlainValues(t *testing.T) {
 	}
 }
 
-func TestDescriptorRecycling(t *testing.T) {
+func TestPairDescriptorRecycling(t *testing.T) {
 	e := newEnv(1)
 	c := e.ctxs[0]
 	var w1, w2 word.Word
 	for i := uint64(0); i < 1000; i++ {
 		w1.Store(val(1))
 		w2.Store(val(2))
-		if res := runDCAS(c, &w1, &w2, val(1), val(3), val(2), val(4)); res != Success {
+		if res := runPair(c, &w1, &w2, val(1), val(3), val(2), val(4)); res != Success {
 			t.Fatalf("iteration %d: %v", i, res)
 		}
 	}
@@ -140,38 +129,39 @@ func TestDescriptorRecycling(t *testing.T) {
 	}
 }
 
-func TestResultAgreementResDecided(t *testing.T) {
+func TestResultAgreementDecided(t *testing.T) {
 	e := newEnv(1)
 	c := e.ctxs[0]
 	var w1, w2 word.Word
 	w1.Store(val(1))
 	w2.Store(val(2))
-	d, ref := c.Alloc()
-	d.Ptr1, d.Old1, d.New1 = &w1, val(1), val(3)
-	d.Ptr2, d.Old2, d.New2 = &w2, val(2), val(4)
-	if res := c.Execute(d, ref); res != Success {
+	d, ref := c.AllocPair()
+	e1, e2 := &d.Entries[0], &d.Entries[1]
+	e1.Ptr, e1.Old, e1.New = &w1, val(1), val(3)
+	e2.Ptr, e2.Old, e2.New = &w2, val(2), val(4)
+	if res := c.ExecutePair(d, ref); res != Success {
 		t.Fatalf("%v", res)
 	}
-	if !d.ResDecided() {
-		t.Fatal("res must be decided after Execute returns")
+	if !d.Decided() {
+		t.Fatal("status must be decided after ExecutePair returns")
 	}
 	c.Retire(d, ref)
 }
 
-// transition records one side of a successful DCAS for the history
-// checker below.
+// transition records one side of a successful pair operation for the
+// history checker below.
 type transition struct {
 	old, new uint64
 }
 
-// TestDCASConcurrentHistory runs many concurrent DCASes over a small set
+// TestPairConcurrentHistory runs many concurrent DCASes over a small set
 // of words and validates the outcome like a linearizability check:
 // because every installed value is unique, the successful transitions on
 // each word must chain from the word's initial value to its final value,
 // consuming every recorded success exactly once. Lost or duplicated
 // DCAS effects (e.g. a helper applying an operation twice — the ABA
 // scenario of Lemma 3) would break the chain.
-func TestDCASConcurrentHistory(t *testing.T) {
+func TestPairConcurrentHistory(t *testing.T) {
 	const (
 		threads = 8
 		wordsN  = 4
@@ -206,7 +196,7 @@ func TestDCASConcurrentHistory(t *testing.T) {
 				// Unique new values: tid/op tagged.
 				n1 := val(uint64(1<<20) + uint64(tid)<<24 + uint64(op)<<4)
 				n2 := val(uint64(1<<21) + uint64(tid)<<24 + uint64(op)<<4 + 1)
-				if runDCAS(c, &words[i], &words[j], o1, n1, o2, n2) == Success {
+				if runPair(c, &words[i], &words[j], o1, n1, o2, n2) == Success {
 					results[tid] = append(results[tid], rec{i, j, transition{o1, n1}, transition{o2, n2}})
 				}
 			}
@@ -241,7 +231,6 @@ func TestDCASConcurrentHistory(t *testing.T) {
 	// Chain-check each word.
 	for i := range words {
 		cur := val(uint64(1000 + i))
-		steps := 0
 		for {
 			next, ok := perWord[i][cur]
 			if !ok {
@@ -249,7 +238,6 @@ func TestDCASConcurrentHistory(t *testing.T) {
 			}
 			delete(perWord[i], cur)
 			cur = next
-			steps++
 		}
 		if cur != e.ctxs[0].Read(&words[i]) {
 			t.Fatalf("word %d: transition chain ends at %#x but word holds %#x", i, cur, words[i].Load())
@@ -257,7 +245,6 @@ func TestDCASConcurrentHistory(t *testing.T) {
 		if len(perWord[i]) != 0 {
 			t.Fatalf("word %d: %d successful transitions not on the chain (lost updates)", i, len(perWord[i]))
 		}
-		_ = steps
 	}
 
 	// Reclamation: after flushing every context, no descriptor may
@@ -270,10 +257,10 @@ func TestDCASConcurrentHistory(t *testing.T) {
 	}
 }
 
-// TestDCASContendedSameWords hammers one word pair from all threads so
+// TestPairContendedSameWords hammers one word pair from all threads so
 // helping and the marked-descriptor arbitration of Lemma 3 get dense
 // coverage; the accounting mirrors the history test.
-func TestDCASContendedSameWords(t *testing.T) {
+func TestPairContendedSameWords(t *testing.T) {
 	const threads = 8
 	const opsPer = 5000
 	e := newEnv(threads)
@@ -294,7 +281,7 @@ func TestDCASContendedSameWords(t *testing.T) {
 				o2 := c.Read(&w2)
 				n1 := val(uint64(3<<24) + uint64(tid)<<16 + uint64(op)<<1)
 				n2 := val(uint64(5<<24) + uint64(tid)<<16 + uint64(op)<<1)
-				if runDCAS(c, &w1, &w2, o1, n1, o2, n2) == Success {
+				if runPair(c, &w1, &w2, o1, n1, o2, n2) == Success {
 					mu.Lock()
 					if _, dup := trans1[o1]; dup {
 						t.Errorf("old1 %#x consumed twice", o1)

@@ -11,6 +11,10 @@ import "sort"
 //	insA(v) / insB(v)   — insert; always succeeds (RetOK true)
 //	remA() / remB()     — remove; returns (value, ok)
 //	moveAB() / moveBA() — atomic move; returns (moved value, ok)
+//	swapAB()            — atomically exchange the heads of A and B
+//	                      (SwapHeads with k=2); fails, changing nothing,
+//	                      only when a side is empty; Ret is ignored
+//	                      (the implementation reports success alone)
 //
 // Container kinds determine insertion/removal order (FIFO queue or LIFO
 // stack).
@@ -55,6 +59,15 @@ func take(kind Kind, s []uint64) (uint64, []uint64, bool) {
 		return s[0], s[1:], true
 	}
 	return s[len(s)-1], s[:len(s)-1], true
+}
+
+// putHead places v where take would next find it — the inverse of take,
+// used by swapAB to replace a head in place.
+func putHead(kind Kind, s []uint64, v uint64) []uint64 {
+	if kind == FIFO {
+		return append([]uint64{v}, s...)
+	}
+	return append(append(make([]uint64, 0, len(s)+1), s...), v)
 }
 
 func (st pairState) Apply(op Op) (State, bool) {
@@ -111,6 +124,16 @@ func (st pairState) Apply(op Op) (State, bool) {
 		}
 		na := append(append(make([]uint64, 0, len(a)+1), a...), v)
 		return pairState{st.aKind, st.bKind, na, nb}, true
+	case "swapAB":
+		va, na, okA := take(st.aKind, a)
+		vb, nb, okB := take(st.bKind, b)
+		if !okA || !okB {
+			return st, !op.RetOK // a swap observing an empty side fails, a no-op
+		}
+		if !op.RetOK {
+			return nil, false // both sides held a head: failure is illegal
+		}
+		return pairState{st.aKind, st.bKind, putHead(st.aKind, na, vb), putHead(st.bKind, nb, va)}, true
 	}
 	return nil, false
 }
@@ -129,6 +152,10 @@ func (st pairState) Apply(op Op) (State, bool) {
 //	getA/getB  — Arg = key; returns (value, ok) without removing
 //	mvAB/mvBA  — Arg = skey<<32|tkey; atomic keyed move; returns the
 //	             moved value
+//	mv2AB/mv2BA — Arg = s1<<48|t1<<32|s2<<16|t2 (keys below 2^16);
+//	             atomic two-key transfer (TransferN with k=2); returns
+//	             Ret = v1<<32|v2. Both keys move in one step: no
+//	             ordering may observe one moved and the other not.
 //
 // A failed move is modeled as a legal no-op from every state: besides
 // the semantic failures (missing source key, occupied target key) the
@@ -172,7 +199,7 @@ func unpackKV(arg uint64) (key, val uint64) { return arg >> 32, arg & 0xffffffff
 func (st mapPairState) Apply(op Op) (State, bool) {
 	fromA := true
 	switch op.Name {
-	case "putB", "delB", "getB", "mvBA":
+	case "putB", "delB", "getB", "mvBA", "mv2BA":
 		fromA = false
 	}
 	src, dst := st.a, st.b
@@ -234,6 +261,30 @@ func (st mapPairState) Apply(op Op) (State, bool) {
 		ns, nd := sides(n)
 		delete(ns, skey)
 		nd[tkey] = v
+		return n, true
+	case "mv2AB", "mv2BA":
+		if !op.RetOK {
+			return st, true // failed transfers are no-ops (see type doc)
+		}
+		s1, t1 := op.Arg>>48, (op.Arg>>32)&0xffff
+		s2, t2 := (op.Arg>>16)&0xffff, op.Arg&0xffff
+		v1, ok1 := src[s1]
+		v2, ok2 := src[s2]
+		if !ok1 || !ok2 || op.Ret != v1<<32|v2 {
+			return nil, false
+		}
+		if _, occ := dst[t1]; occ {
+			return nil, false
+		}
+		if _, occ := dst[t2]; occ {
+			return nil, false
+		}
+		n := st.clone()
+		ns, nd := sides(n)
+		delete(ns, s1)
+		delete(ns, s2)
+		nd[t1] = v1
+		nd[t2] = v2
 		return n, true
 	}
 	return nil, false

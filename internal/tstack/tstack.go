@@ -304,3 +304,90 @@ func (s *Stack) Drain(t *core.Thread) int {
 // TopWord exposes the top anchor for structural verification (package
 // verify) and diagnostics; not part of the normal API.
 func (s *Stack) TopWord() *word.Word { return &s.top }
+
+// SwapHeads atomically rotates the top values of k stacks: stack i's
+// head value becomes stack i-1's (so two stacks exchange heads, three
+// rotate, and so on). All k top CASes are decided by one k-word CAS —
+// no concurrent operation can observe a partially rotated state. The
+// stacks must be pairwise distinct and belong to one runtime.
+//
+// It returns false (changing nothing) when any stack is observed empty;
+// that read is the failed operation's linearization point. Each head
+// node is replaced by a fresh node carrying the rotated value, so the
+// versioned variant's ABA counters bump exactly as a pop+push would.
+func SwapHeads(t *core.Thread, stacks ...*Stack) bool {
+	k := len(stacks)
+	if k < 2 {
+		panic("tstack: SwapHeads needs at least two stacks")
+	}
+	if k > core.MaxKCASEntries {
+		panic("tstack: SwapHeads supports at most core.MaxKCASEntries stacks")
+	}
+	for i := range stacks {
+		for j := 0; j < i; j++ {
+			if stacks[j].id == stacks[i].id {
+				panic("tstack: SwapHeads requires pairwise distinct stacks")
+			}
+		}
+	}
+	refs := make([]uint64, k) // replacement head nodes, reused across retries
+	for i := range refs {
+		refs[i] = t.AllocNode()
+	}
+	ltops := make([]uint64, k)
+	entries := make([]core.KCASEntry, k)
+	for {
+		empty := false
+		for i, s := range stacks {
+			for {
+				ltop := t.Read(&s.top)
+				if isNil(ltop) {
+					empty = true
+					break
+				}
+				// Hold the head beyond this iteration: the per-entry chain
+				// hold slots keep all k heads protected at once, where the
+				// container slots only cover one.
+				t.HoldNode(i, ltop)
+				if t.Read(&s.top) == ltop {
+					ltops[i] = ltop
+					break
+				}
+			}
+			if empty {
+				break
+			}
+		}
+		if empty {
+			t.ReleaseHolds()
+			for _, r := range refs {
+				t.FreeNodeDirect(r)
+			}
+			return false
+		}
+		for i, s := range stacks {
+			from := t.Node(ltops[(i+k-1)%k])
+			old := t.Node(ltops[i])
+			n := t.Node(refs[i])
+			n.Val = from.Val
+			n.Next.Store(old.Next.Load())
+			entries[i] = core.KCASEntry{
+				W: &s.top, Old: ltops[i],
+				New: s.newTop(ltops[i], refs[i]), HP: ltops[i],
+			}
+		}
+		ok, _ := t.ExecuteKCAS(entries)
+		t.ReleaseHolds()
+		if ok {
+			for _, old := range ltops {
+				t.RetireNode(old)
+			}
+			t.BackoffReset()
+			return true
+		}
+		for _, s := range stacks {
+			s.retries.Add(1)
+		}
+		t.BackoffWait()
+	}
+}

@@ -294,3 +294,55 @@ func MoveTyped[T any](t *Thread, src *QueueOf[T], dst *StackOf[T]) (T, bool) {
 	}
 	return dst.Box.Peek(h), true
 }
+
+// SwapHeadsOf atomically rotates the top values of k typed stacks
+// sharing one Box (see SwapHeads): the handles rotate in one k-word
+// CAS, so every value stays visible through exactly one stack. False
+// when any stack is observed empty.
+func SwapHeadsOf[T any](t *Thread, stacks ...*StackOf[T]) bool {
+	if len(stacks) < 2 {
+		panic("repro: SwapHeadsOf needs at least two stacks")
+	}
+	raw := make([]*Stack, len(stacks))
+	for i, s := range stacks {
+		if s.Box != stacks[0].Box {
+			panic("repro: SwapHeadsOf requires stacks sharing one Box")
+		}
+		raw[i] = s.S
+	}
+	return SwapHeads(t, raw...)
+}
+
+// TransferKeysOf atomically moves up to 4 keyed values between typed
+// maps sharing one Box (see TransferKeys). The returned values are read
+// through the moved handles after the commit — snapshots, like
+// MoveKeyed's.
+func TransferKeysOf[T any](t *Thread, src, dst *MapOf[T], skeys, tkeys []uint64) ([]T, bool) {
+	if src.Box != dst.Box {
+		panic("repro: TransferKeysOf requires maps sharing one Box")
+	}
+	hs, ok := TransferKeys(t, src.M, dst.M, skeys, tkeys)
+	if !ok {
+		return nil, false
+	}
+	out := make([]T, len(hs))
+	for i, h := range hs {
+		out[i] = dst.Box.Peek(h)
+	}
+	return out, true
+}
+
+// DrainTyped moves up to n elements from a typed queue to a typed stack
+// sharing one Box under one amortized descriptor lifecycle (see
+// DrainN). Each move remains individually linearizable.
+func DrainTyped[T any](t *Thread, src *QueueOf[T], dst *StackOf[T], n int) []T {
+	if src.Box != dst.Box {
+		panic("repro: DrainTyped requires containers sharing one Box")
+	}
+	hs := DrainN(t, src.Q, dst.S, 0, 0, n)
+	out := make([]T, len(hs))
+	for i, h := range hs {
+		out[i] = dst.Box.Peek(h)
+	}
+	return out
+}
