@@ -96,6 +96,12 @@ type jsonRow struct {
 	WindowShrinks float64 `json:"adapt_window_shrinks"`
 	Attaches      float64 `json:"adapt_attaches"`
 	PaceRaises    float64 `json:"adapt_pace_raises"`
+	// Per-operation latency percentiles from the striped histograms
+	// (package latency). Only -latency cells fill them — unlike the
+	// counters above, absence means "not measured", so omitempty.
+	P50NS  int64 `json:"p50_ns,omitempty"`
+	P99NS  int64 `json:"p99_ns,omitempty"`
+	P999NS int64 `json:"p999_ns,omitempty"`
 }
 
 // jsonDoc is the -json file layout: host context (thread counts beyond
@@ -171,6 +177,7 @@ func main() {
 		readfrac   = flag.Int("readfrac", 95, "map scenario: lookup percent of the read-mostly panel (0 skips it)")
 		batchSizes = flag.String("batchsizes", "1,4,16,64", "batch scenario: comma list of batch sizes (1 = unbatched)")
 		adaptive   = flag.Bool("adaptive", false, "map/ycsb scenarios: enable the adaptive contention-management subsystem")
+		latPcts    = flag.Bool("latency", false, "ycsb scenario: record per-op latency and report per-tenant p50/p99/p999")
 	)
 	flag.Parse()
 
@@ -239,7 +246,7 @@ func main() {
 		case figureYCSB:
 			fmt.Printf("==== YCSB-style mixed tenants over shared maps ====\n")
 			for _, cont := range conts {
-				runYCSBPanel(out, cont, ths, *ops, *trials, *keys, *pin, *adaptive)
+				runYCSBPanel(out, cont, ths, *ops, *trials, *keys, *pin, *adaptive, *latPcts)
 			}
 		case figureAdapt:
 			fmt.Printf("==== Adaptive contention management: map churn, off vs on ====\n")
@@ -374,9 +381,11 @@ func runMapPanel(out *sink, cont harness.Contention, ths []int,
 }
 
 // runYCSBPanel runs the ABC mixed-tenant preset across thread counts,
-// printing overall throughput and the per-tenant operation split.
+// printing overall throughput and the per-tenant operation split. With
+// latency on, each tenant additionally gets a per-op percentile line
+// and its own JSON row (mix suffix "/tenant=<name>").
 func runYCSBPanel(out *sink, cont harness.Contention, ths []int,
-	ops, trials, keys int, pin, adaptive bool) {
+	ops, trials, keys int, pin, adaptive, latency bool) {
 
 	label := "tenants A/B/C, private key ranges"
 	if adaptive {
@@ -389,6 +398,7 @@ func runYCSBPanel(out *sink, cont harness.Contention, ths []int,
 			Threads: t, TotalOps: ops, Trials: trials,
 			Tenants:    harness.TenantsABC(keys / 3),
 			Adaptive:   adaptive,
+			Latency:    latency,
 			Contention: cont, Pin: pin,
 		})
 		split := ""
@@ -411,7 +421,25 @@ func runYCSBPanel(out *sink, cont harness.Contention, ths []int,
 		out.add(scenarioRow("ycsb", mix, cont, harness.LockFree, t,
 			r.Ops, len(r.SamplesNS), r.Summary,
 			r.ElimHits, r.ElimMisses, r.Grows, r.Migrated, r.Adapt))
+		for i, s := range r.Latency {
+			if s.Count == 0 {
+				continue
+			}
+			p50, p99, p999 := s.Percentile(0.50), s.Percentile(0.99), s.Percentile(0.999)
+			fmt.Printf("%8s  tenant %s: p50=%s p99=%s p999=%s max=%s (%d ops)\n",
+				"", r.PerTenant[i].Name, fmtNS(p50), fmtNS(p99), fmtNS(p999), fmtNS(s.MaxNS), s.Count)
+			tr := scenarioRow("ycsb", mix+"/tenant="+r.PerTenant[i].Name, cont,
+				harness.LockFree, t, int(s.Count), len(r.SamplesNS), r.Summary,
+				0, 0, 0, 0, harness.AdaptAgg{})
+			tr.P50NS, tr.P99NS, tr.P999NS = p50, p99, p999
+			out.add(tr)
+		}
 	}
+}
+
+// fmtNS renders a nanosecond latency at microsecond granularity.
+func fmtNS(ns int64) string {
+	return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
 }
 
 // runAdaptPanel sweeps the zipfian map-churn cell with the adaptive

@@ -161,7 +161,7 @@ func TestJSONSinkEndToEnd(t *testing.T) {
 	runElimPanel(out, harness.NoWork, []int{1, 2}, 20000, 1, 64, false)
 	runMapPanel(out, harness.NoWork, []int{1}, 20000, 1, 64, false, true, 512, true, 0, false)
 	runBatchPanel(out, harness.NoWork, []int{1}, []int{1, 4}, 20000, 1, 64, false)
-	runYCSBPanel(out, harness.NoWork, []int{1}, 20000, 1, 512, false, true)
+	runYCSBPanel(out, harness.NoWork, []int{1}, 20000, 1, 512, false, true, true)
 	out.flush()
 
 	b, err := os.ReadFile(path)
@@ -174,9 +174,26 @@ func TestJSONSinkEndToEnd(t *testing.T) {
 	}
 	// 2 thread counts x (off, on) + 2 map rows (lockfree + blocking) +
 	// 3 batch rows (B=1 baseline, then B=4 unbatched + batched) + 1
-	// adaptive ycsb row.
-	if len(doc.Rows) != 10 {
-		t.Fatalf("rows=%d want 10", len(doc.Rows))
+	// adaptive ycsb row + 1 per-tenant ycsb latency row (threads=1
+	// serves only tenant A; idle tenants emit no latency rows).
+	if len(doc.Rows) != 11 {
+		t.Fatalf("rows=%d want 11", len(doc.Rows))
+	}
+	tenantRows := 0
+	for _, r := range doc.Rows {
+		if !strings.Contains(r.Mix, "/tenant=") {
+			if r.P50NS != 0 {
+				t.Fatalf("percentiles on a non-latency row: %+v", r)
+			}
+			continue
+		}
+		tenantRows++
+		if r.P50NS <= 0 || r.P99NS < r.P50NS || r.P999NS < r.P99NS {
+			t.Fatalf("implausible percentiles in row %+v", r)
+		}
+	}
+	if tenantRows != 1 {
+		t.Fatalf("per-tenant latency rows=%d want 1 (only tenant A served at threads=1)", tenantRows)
 	}
 	sawElimOn := false
 	for _, r := range doc.Rows {

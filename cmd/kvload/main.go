@@ -1,0 +1,507 @@
+// Command kvload drives cmd/kvserver with an open-loop,
+// coordinated-omission-safe workload and reports per-tenant, per-op
+// latency percentiles.
+//
+// # Open loop, measured from intended start
+//
+// The generator fixes an arrival schedule up front: request i's
+// intended send time is start + i/rate, independent of how fast the
+// server answers. -conns connection workers pull request indices from
+// a shared counter, sleep until each request's intended slot, and
+// measure latency from the INTENDED time, not the actual send — so
+// when the server (or the generator's own backlog) stalls, the wait
+// shows up in the recorded tail instead of silently stretching the
+// schedule. A closed-loop generator that issues request i+1 only after
+// request i returns under-samples exactly the moments the server is
+// slow (coordinated omission); this one cannot. Requests dispatched
+// behind schedule are additionally counted as "late" so saturation is
+// visible even before the percentiles move. See docs/measurement.md.
+//
+// # Workload
+//
+// Each request picks a tenant uniformly and an operation from -mix
+// (get/put/del/push/pop + the composed move/transfer/drain; weights
+// renormalize). Keys are uniform over -keys per tenant; PUT and PUSH
+// values are globally unique tokens so the end-of-run conservation
+// audit can use a value checksum.
+//
+// # Conservation audit
+//
+// With -audit (default), the run tracks every successful PUT/DEL/
+// PUSH/POP from responses — counts and wrapping value-sums, which
+// commute, so cross-connection response ordering cannot skew them —
+// and compares the expectation against the server's AUDIT totals
+// after the workers quiesce. Composed MOVE/XFER/DRAIN traffic must
+// leave all totals unchanged: that is the paper's composition claim
+// (an element is in exactly one object at every instant) checked over
+// the wire. A failed audit exits nonzero.
+//
+// # Output
+//
+// Human-readable percentile tables on stdout; -json FILE additionally
+// writes the composebench-style document (host_cpus/contended honesty
+// fields, one row per tenant×op with p50/p99/p999/max ns, per-tenant
+// and overall rollups, audit verdict).
+//
+// Example, against a default server:
+//
+//	kvserver -addr 127.0.0.1:7070 -tenants 4 &
+//	kvload -addr 127.0.0.1:7070 -tenants 4 -conns 8 -rate 20000 \
+//	       -duration 10s -json kvload.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvwire"
+	"repro/internal/latency"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "kvserver address")
+		conns    = flag.Int("conns", 8, "connection workers")
+		rate     = flag.Float64("rate", 5000, "total intended request rate (req/s)")
+		duration = flag.Duration("duration", 10*time.Second, "run length (sets the request count at -rate)")
+		requests = flag.Int("requests", 0, "exact request count (overrides -duration)")
+		tenants  = flag.Int("tenants", 4, "tenant count (must match the server)")
+		keys     = flag.Int("keys", 1024, "key range per tenant")
+		mix      = flag.String("mix", "get=60,put=15,del=5,move=10,transfer=4,push=2,pop=2,drain=2",
+			"operation weights (get,put,del,push,pop,move,transfer,drain)")
+		prefill  = flag.Int("prefill", 256, "entries PUT per tenant map (and /4 PUSHed per queue) before the measured run")
+		jsonPath = flag.String("json", "", "write the JSON report here")
+		seed     = flag.Uint64("seed", 1, "workload RNG seed")
+		audit    = flag.Bool("audit", true, "run the end-of-run conservation audit")
+	)
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	if *rate <= 0 || *conns < 1 || *tenants < 1 || *keys < 1 {
+		fatal(fmt.Errorf("need -rate > 0, -conns/-tenants/-keys >= 1"))
+	}
+	total := *requests
+	if total <= 0 {
+		total = int(*rate * duration.Seconds())
+	}
+	if total < 1 {
+		fatal(fmt.Errorf("schedule is empty: raise -rate, -duration or -requests"))
+	}
+
+	g := &generator{
+		addr: *addr, conns: *conns, rate: *rate, total: total,
+		tenants: *tenants, keys: uint64(*keys), weights: weights,
+		prefill: *prefill, seed: *seed,
+		rec: latency.NewRecorder(*conns, *tenants, int(kvwire.OpCount)),
+	}
+	if err := g.run(); err != nil {
+		fatal(err)
+	}
+
+	doc := g.report(os.Stdout)
+	if *audit {
+		a, err := g.audit()
+		if err != nil {
+			fatal(fmt.Errorf("audit: %w", err))
+		}
+		doc.Audit = &a
+		printAudit(a)
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if g.errs.Load() > 0 {
+		fatal(fmt.Errorf("%d requests drew ERR responses", g.errs.Load()))
+	}
+	if doc.Audit != nil && !doc.Audit.Pass {
+		fmt.Fprintln(os.Stderr, "kvload: CONSERVATION AUDIT FAILED")
+		os.Exit(1)
+	}
+}
+
+// opWeights maps each data-path op to its share of traffic.
+type opWeights [kvwire.OpCount]int
+
+// parseMix parses "get=60,put=15,..." into weights.
+func parseMix(s string) (opWeights, error) {
+	names := map[string]kvwire.Op{
+		"get": kvwire.OpGet, "put": kvwire.OpPut, "del": kvwire.OpDel,
+		"push": kvwire.OpPush, "pop": kvwire.OpPop,
+		"move": kvwire.OpMove, "transfer": kvwire.OpXfer, "drain": kvwire.OpDrain,
+	}
+	var w opWeights
+	sum := 0
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return w, fmt.Errorf("bad -mix element %q", part)
+		}
+		op, ok := names[name]
+		if !ok {
+			return w, fmt.Errorf("unknown -mix op %q", name)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("bad -mix weight %q", part)
+		}
+		w[op] = n
+		sum += n
+	}
+	if sum == 0 {
+		return w, fmt.Errorf("-mix has zero total weight")
+	}
+	return w, nil
+}
+
+// pick selects an op by weight from a uniform draw.
+func (w opWeights) pick(r uint64) kvwire.Op {
+	sum := 0
+	for _, n := range w {
+		sum += n
+	}
+	x := int(r % uint64(sum))
+	for op, n := range w {
+		if x < n {
+			return kvwire.Op(op)
+		}
+		x -= n
+	}
+	return kvwire.OpGet
+}
+
+// generator owns the run state shared by the connection workers.
+type generator struct {
+	addr    string
+	conns   int
+	rate    float64
+	total   int
+	tenants int
+	keys    uint64
+	weights opWeights
+	prefill int
+	seed    uint64
+
+	rec  *latency.Recorder
+	next atomic.Uint64
+	late atomic.Uint64
+	errs atomic.Uint64
+
+	// Conservation expectations, tracked from successful responses.
+	// Counts and wrapping sums commute, so concurrent workers cannot
+	// skew them regardless of response interleaving.
+	putN, delN, pushN, popN atomic.Uint64
+	putSum, delSum          atomic.Uint64
+
+	start   time.Time
+	elapsed time.Duration
+}
+
+// conn is one worker's connection.
+type conn struct {
+	c  net.Conn
+	in *bufio.Scanner
+}
+
+func dialConn(addr string) (*conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{c: c, in: bufio.NewScanner(c)}, nil
+}
+
+// roundTrip sends one request and parses its response.
+func (c *conn) roundTrip(req kvwire.Request) (kvwire.Response, error) {
+	if _, err := c.c.Write(req.Append(nil)); err != nil {
+		return kvwire.Response{}, err
+	}
+	if !c.in.Scan() {
+		if err := c.in.Err(); err != nil {
+			return kvwire.Response{}, err
+		}
+		return kvwire.Response{}, fmt.Errorf("connection closed by server")
+	}
+	return kvwire.ParseResponse(c.in.Text(), req.Op != kvwire.OpStats)
+}
+
+func (g *generator) run() error {
+	cs := make([]*conn, g.conns)
+	for i := range cs {
+		c, err := dialConn(g.addr)
+		if err != nil {
+			return err
+		}
+		defer c.c.Close()
+		cs[i] = c
+	}
+	if err := g.doPrefill(cs[0]); err != nil {
+		return fmt.Errorf("prefill: %w", err)
+	}
+
+	interval := float64(time.Second) / g.rate
+	g.start = time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, g.conns)
+	for w := 0; w < g.conns; w++ {
+		wg.Add(1)
+		go func(w int, c *conn) {
+			defer wg.Done()
+			if err := g.worker(w, c, interval); err != nil {
+				errCh <- fmt.Errorf("conn %d: %w", w, err)
+			}
+		}(w, cs[w])
+	}
+	wg.Wait()
+	g.elapsed = time.Since(g.start)
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// doPrefill seeds every tenant before the measured interval, tracked
+// in the same conservation counters as the run itself.
+func (g *generator) doPrefill(c *conn) error {
+	rng := xrand.New(g.seed ^ 0xfeedface)
+	for tn := 0; tn < g.tenants; tn++ {
+		for i := 0; i < g.prefill; i++ {
+			v := g.token(uint64(g.conns), rng)
+			r, err := c.roundTrip(kvwire.Request{
+				Op: kvwire.OpPut, Tenant: tn,
+				Keys: []uint64{rng.Uint64() % g.keys}, Val: v,
+			})
+			if err != nil {
+				return err
+			}
+			if r.OK() {
+				g.putN.Add(1)
+				g.putSum.Add(v)
+			}
+		}
+		for i := 0; i < g.prefill/4; i++ {
+			r, err := c.roundTrip(kvwire.Request{
+				Op: kvwire.OpPush, Tenant: tn, Val: g.token(uint64(g.conns), rng),
+			})
+			if err != nil {
+				return err
+			}
+			if r.OK() {
+				g.pushN.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+// tokenSeq hands out globally unique value tokens: the owner id in the
+// high bits, a per-owner sequence below.
+var tokenSeq [1 << 8]atomic.Uint64
+
+func (g *generator) token(owner uint64, _ *xrand.State) uint64 {
+	return (owner+1)<<40 | tokenSeq[owner&0xff].Add(1)
+}
+
+// worker pulls request indices off the shared schedule and issues them
+// at their intended times.
+func (g *generator) worker(w int, c *conn, interval float64) error {
+	rng := xrand.New(g.seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
+	for {
+		i := g.next.Add(1) - 1
+		if i >= uint64(g.total) {
+			return nil
+		}
+		intended := g.start.Add(time.Duration(float64(i) * interval))
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		} else {
+			g.late.Add(1)
+		}
+		req := g.request(w, rng)
+		resp, err := c.roundTrip(req)
+		// Latency from the INTENDED slot: backlog waits count.
+		g.rec.Record(w, req.Tenant, int(req.Op), time.Since(intended))
+		if err != nil {
+			return err
+		}
+		g.account(w, req, resp)
+	}
+}
+
+// request builds one weighted-random request.
+func (g *generator) request(w int, rng *xrand.State) kvwire.Request {
+	op := g.weights.pick(rng.Uint64())
+	tn := int(rng.Uint64() % uint64(g.tenants))
+	dt := 0
+	if g.tenants > 1 {
+		dt = (tn + 1 + int(rng.Uint64()%uint64(g.tenants-1))) % g.tenants
+	}
+	k := func() uint64 { return rng.Uint64() % g.keys }
+	req := kvwire.Request{Op: op, Tenant: tn, DTenant: dt}
+	switch op {
+	case kvwire.OpGet, kvwire.OpDel:
+		req.Keys = []uint64{k()}
+	case kvwire.OpPut:
+		req.Keys, req.Val = []uint64{k()}, g.token(uint64(w), rng)
+	case kvwire.OpPush:
+		req.Val = g.token(uint64(w), rng)
+	case kvwire.OpPop:
+	case kvwire.OpMove:
+		req.Keys, req.TKeys = []uint64{k()}, []uint64{k()}
+	case kvwire.OpXfer:
+		sk1 := k()
+		sk2 := (sk1 + 1 + rng.Uint64()%(g.keys-1)) % g.keys
+		tk1 := k()
+		tk2 := (tk1 + 1 + rng.Uint64()%(g.keys-1)) % g.keys
+		req.Keys, req.TKeys = []uint64{sk1, sk2}, []uint64{tk1, tk2}
+	case kvwire.OpDrain:
+		req.N = 1 + int(rng.Uint64()%4)
+	}
+	if g.tenants == 1 && (op == kvwire.OpMove || op == kvwire.OpXfer || op == kvwire.OpDrain) {
+		// Composed ops need two tenants; degrade to a read.
+		return kvwire.Request{Op: kvwire.OpGet, Tenant: tn, Keys: []uint64{k()}}
+	}
+	return req
+}
+
+// account folds one successful response into the conservation
+// expectations. Composed operations are deliberately absent: MOVE,
+// XFER and DRAIN relocate entries and must not change any total.
+func (g *generator) account(w int, req kvwire.Request, resp kvwire.Response) {
+	if resp.Status == "ERR" {
+		g.errs.Add(1)
+		return
+	}
+	if !resp.OK() {
+		return
+	}
+	switch req.Op {
+	case kvwire.OpPut:
+		g.putN.Add(1)
+		g.putSum.Add(req.Val)
+	case kvwire.OpDel:
+		g.delN.Add(1)
+		g.delSum.Add(resp.Vals[0])
+	case kvwire.OpPush:
+		g.pushN.Add(1)
+	case kvwire.OpPop:
+		g.popN.Add(1)
+	}
+}
+
+// audit fetches the server's totals and compares them with the
+// response-tracked expectations.
+func (g *generator) audit() (kvwire.Audit, error) {
+	c, err := dialConn(g.addr)
+	if err != nil {
+		return kvwire.Audit{}, err
+	}
+	defer c.c.Close()
+	r, err := c.roundTrip(kvwire.Request{Op: kvwire.OpAudit})
+	if err != nil {
+		return kvwire.Audit{}, err
+	}
+	if !r.OK() || len(r.Vals) != 3 {
+		return kvwire.Audit{}, fmt.Errorf("bad AUDIT response %+v", r)
+	}
+	a := kvwire.Audit{
+		ExpectMapCount:   g.putN.Load() - g.delN.Load(),
+		ExpectMapSum:     g.putSum.Load() - g.delSum.Load(),
+		ExpectQueueCount: g.pushN.Load() - g.popN.Load(),
+		GotMapCount:      r.Vals[0],
+		GotMapSum:        r.Vals[1],
+		GotQueueCount:    r.Vals[2],
+	}
+	a.Pass = a.GotMapCount == a.ExpectMapCount &&
+		a.GotMapSum == a.ExpectMapSum &&
+		a.GotQueueCount == a.ExpectQueueCount
+	return a, nil
+}
+
+// report prints the percentile tables and builds the JSON document.
+func (g *generator) report(out *os.File) kvwire.Doc {
+	doc := kvwire.NewDoc()
+	doc.RateRPS = g.rate
+	doc.DurationMS = float64(g.elapsed.Nanoseconds()) / 1e6
+	doc.Conns = g.conns
+	wall := float64(g.elapsed.Nanoseconds())
+
+	all := g.rec.MergedAll()
+	fmt.Fprintf(out, "kvload: %d requests over %.2fs (intended %.0f req/s, achieved %.0f req/s), %d late dispatches\n",
+		all.Count, g.elapsed.Seconds(), g.rate, float64(all.Count)*1e9/wall, g.late.Load())
+	if !doc.Contended {
+		fmt.Fprintln(os.Stderr, "kvload: warning: GOMAXPROCS=1 — generator and measurements ran time-sliced on one CPU")
+	}
+	fmt.Fprintf(out, "%7s %9s %9s  %10s %10s %10s %10s %10s\n",
+		"tenant", "op", "count", "mean_us", "p50_us", "p99_us", "p999_us", "max_us")
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for tn := 0; tn < g.tenants; tn++ {
+		ops := make([]int, 0, int(kvwire.OpCount))
+		for op := 0; op < int(kvwire.OpCount); op++ {
+			ops = append(ops, op)
+		}
+		sort.Ints(ops)
+		for _, op := range ops {
+			s := g.rec.Merged(tn, op)
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "%7d %9s %9d  %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+				tn, kvwire.Op(op), s.Count, s.MeanNS()/1e3,
+				us(s.Percentile(0.5)), us(s.Percentile(0.99)), us(s.Percentile(0.999)), us(s.MaxNS))
+			doc.Rows = append(doc.Rows,
+				kvwire.RowFrom("kvload", strconv.Itoa(tn), kvwire.Op(op).String(), g.conns, s, wall))
+		}
+		ts := g.rec.MergedTenant(tn)
+		if ts.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%7d %9s %9d  %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			tn, "all", ts.Count, ts.MeanNS()/1e3,
+			us(ts.Percentile(0.5)), us(ts.Percentile(0.99)), us(ts.Percentile(0.999)), us(ts.MaxNS))
+		doc.Rows = append(doc.Rows, kvwire.RowFrom("kvload", strconv.Itoa(tn), "all", g.conns, ts, wall))
+	}
+	overall := kvwire.RowFrom("kvload", "all", "all", g.conns, all, wall)
+	overall.Late = g.late.Load()
+	doc.Rows = append(doc.Rows, overall)
+	fmt.Fprintf(out, "%7s %9s %9d  %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+		"all", "all", all.Count, all.MeanNS()/1e3,
+		us(all.Percentile(0.5)), us(all.Percentile(0.99)), us(all.Percentile(0.999)), us(all.MaxNS))
+	return doc
+}
+
+func printAudit(a kvwire.Audit) {
+	verdict := "PASS"
+	if !a.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("conservation audit: %s (maps %d/%d entries, sum %d/%d; queues %d/%d) [expect/got]\n",
+		verdict, a.ExpectMapCount, a.GotMapCount, a.ExpectMapSum, a.GotMapSum,
+		a.ExpectQueueCount, a.GotQueueCount)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kvload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/kvwire"
+	"repro/internal/xrand"
+)
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("get=60,put=15,del=5,move=10,transfer=4,push=2,pop=2,drain=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[kvwire.OpGet] != 60 || w[kvwire.OpXfer] != 4 || w[kvwire.OpDrain] != 2 {
+		t.Fatalf("weights %v", w)
+	}
+	for _, bad := range []string{"", "get", "get=x", "fly=10", "get=0,put=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	w, _ := parseMix("get=1,drain=3")
+	var gets, drains int
+	rng := xrand.New(7)
+	for i := 0; i < 10000; i++ {
+		switch w.pick(rng.Uint64()) {
+		case kvwire.OpGet:
+			gets++
+		case kvwire.OpDrain:
+			drains++
+		default:
+			t.Fatal("picked an op with zero weight")
+		}
+	}
+	if gets == 0 || drains == 0 || drains < 2*gets {
+		t.Fatalf("gets=%d drains=%d, want ~1:3", gets, drains)
+	}
+}
+
+// TestRequestShapes checks that every generated request parses under
+// the server's grammar — the two binaries sharing kvwire makes this a
+// compile-time near-guarantee, but the composed ops' tenant and key
+// distinctness is runtime logic worth pinning.
+func TestRequestShapes(t *testing.T) {
+	g := &generator{conns: 2, tenants: 3, keys: 8,
+		weights: opWeights{1, 1, 1, 1, 1, 1, 1, 1}}
+	rng := xrand.New(3)
+	for i := 0; i < 5000; i++ {
+		req := g.request(0, rng)
+		line := string(req.Append(nil))
+		if _, err := kvwire.ParseRequest(line[:len(line)-1], g.tenants); err != nil {
+			t.Fatalf("generated unparseable request %q: %v", line, err)
+		}
+	}
+	// Single-tenant runs must degrade composed ops instead of emitting
+	// same-tenant pairs the server would reject.
+	g1 := &generator{conns: 1, tenants: 1, keys: 8, weights: opWeights{kvwire.OpMove: 1}}
+	for i := 0; i < 100; i++ {
+		if req := g1.request(0, rng); req.Op != kvwire.OpGet {
+			t.Fatalf("single-tenant composed op not degraded: %+v", req)
+		}
+	}
+}
+
+func TestTokensUnique(t *testing.T) {
+	g := &generator{}
+	rng := xrand.New(1)
+	seen := make(map[uint64]bool)
+	for owner := uint64(0); owner < 4; owner++ {
+		for i := 0; i < 1000; i++ {
+			v := g.token(owner, rng)
+			if seen[v] {
+				t.Fatalf("token %d repeated", v)
+			}
+			seen[v] = true
+		}
+	}
+}

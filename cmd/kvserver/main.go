@@ -1,0 +1,73 @@
+// Command kvserver serves the composed-KV network service: a
+// multi-tenant key-value store over the repository's lock-free
+// containers, with the paper's lock-free composition exposed as the
+// cross-tenant product operations. Each tenant owns one sharded
+// resizable hash map and one Michael–Scott queue; the kvwire line
+// protocol (see internal/kvwire) offers GET/PUT/DEL and PUSH/POP on
+// them, plus:
+//
+//	MOVE  — atomically relocate one entry between two tenants' maps
+//	        (repro.Move: in exactly one map at every instant)
+//	XFER  — atomically move up to 4 keyed entries in one k-word CAS
+//	        (repro.TransferKeys)
+//	DRAIN — stream up to n elements between two tenants' queues under
+//	        one amortized descriptor lifecycle (repro.DrainN)
+//
+// Each connection is handled by a worker goroutine owning one
+// registered repro.Thread (the paper's thread-local move state), so
+// -workers bounds both concurrency and runtime thread registrations.
+// Per-tenant, per-op service times land in striped HDR histograms
+// (internal/latency); the STATS command returns them as one-line JSON
+// (p50/p99/p999/max per tenant and op) and AUDIT returns conservation
+// totals for the load generator's end-of-run check.
+//
+// Example:
+//
+//	kvserver -addr :7070 -tenants 4 -workers 16
+//	kvserver -addr 127.0.0.1:7070 -tenants 3 -adaptive
+//
+// Drive it with cmd/kvload, or by hand:
+//
+//	$ printf 'PUT 0 1 77\nMOVE 0 1 1 1\nGET 1 1\n' | nc localhost 7070
+//	OK
+//	OK 77
+//	OK 77
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "TCP listen address")
+		tenants  = flag.Int("tenants", 4, "number of tenants (each owns one map and one queue)")
+		workers  = flag.Int("workers", 16, "connection-handler workers (bounds concurrent connections)")
+		shards   = flag.Int("shards", 8, "shards per tenant map")
+		buckets  = flag.Int("buckets", 8, "initial buckets per shard")
+		arena    = flag.Int("arena", 1<<20, "container-node capacity across all tenants")
+		elim     = flag.Bool("elim", false, "enable the elimination-backoff contention layer")
+		adaptive = flag.Bool("adaptive", false, "enable the adaptive contention-management subsystem")
+	)
+	flag.Parse()
+
+	s := NewServer(Config{
+		Tenants: *tenants, Workers: *workers,
+		Shards: *shards, Buckets: *buckets, Arena: *arena,
+		Elimination: *elim, Adaptive: *adaptive,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvserver: %d tenants, %d workers, listening on %s\n",
+		*tenants, *workers, ln.Addr())
+	if err := s.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+}

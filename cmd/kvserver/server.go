@@ -1,0 +1,327 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/kvwire"
+	"repro/internal/latency"
+)
+
+// Config shapes one Server.
+type Config struct {
+	// Tenants is the number of tenants; each owns one map and one queue
+	// (default 4).
+	Tenants int
+	// Workers bounds concurrent connections: each connection handler
+	// borrows one registered repro.Thread for its lifetime, so at most
+	// Workers connections are served at once and further accepts wait
+	// (default 16).
+	Workers int
+	// Shards/Buckets shape each tenant map (per NewShardedHashMap;
+	// defaults 8 shards × 8 buckets).
+	Shards, Buckets int
+	// Arena caps container nodes across all tenants (default 1<<20).
+	Arena int
+	// Elimination/Adaptive switch on the contention layers.
+	Elimination, Adaptive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 8
+	}
+	if c.Arena <= 0 {
+		c.Arena = 1 << 20
+	}
+	return c
+}
+
+// worker is one connection handler's identity: a registered Thread
+// (the per-goroutine context every container call needs) plus the
+// latency recorder stripe index it owns.
+type worker struct {
+	idx int
+	th  *repro.Thread
+}
+
+// Server is the composed-KV network service: per-tenant lock-free maps
+// and queues from one shared runtime, the kvwire line protocol on top,
+// and the paper's composition — Move, TransferKeys, DrainN — exposed
+// as the cross-tenant product operations. Each connection is served by
+// one borrowed worker (Thread + histogram stripe); service times are
+// recorded per (tenant, op) into striped HDR histograms and reported
+// by STATS without stopping traffic.
+type Server struct {
+	cfg     Config
+	rt      *repro.Runtime
+	maps    []*repro.HashMap
+	queues  []*repro.Queue
+	rec     *latency.Recorder
+	workers chan *worker
+	started time.Time
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds the runtime, tenant containers and worker pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	rt := repro.NewRuntime(repro.Config{
+		MaxThreads:    cfg.Workers + 2,
+		ArenaCapacity: cfg.Arena,
+		Elimination:   repro.EliminationConfig{Enable: cfg.Elimination},
+		Adaptive:      repro.AdaptiveConfig{Enable: cfg.Adaptive},
+	})
+	setup := rt.RegisterThread()
+	s := &Server{
+		cfg:     cfg,
+		rt:      rt,
+		rec:     latency.NewRecorder(cfg.Workers, cfg.Tenants, int(kvwire.OpCount)),
+		workers: make(chan *worker, cfg.Workers),
+		conns:   make(map[net.Conn]struct{}),
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Tenants; i++ {
+		s.maps = append(s.maps, repro.NewShardedHashMap(setup, cfg.Shards, cfg.Buckets, 0))
+		s.queues = append(s.queues, repro.NewQueue(setup))
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers <- &worker{idx: i, th: rt.RegisterThread()}
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Close. Each accepted
+// connection borrows a worker from the pool (waiting for one when all
+// are serving) and is handled until EOF.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w := <-s.workers
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			s.workers <- w
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn, w)
+	}
+}
+
+// Close stops accepting, closes open connections and waits for
+// handlers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn, w *worker) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.workers <- w
+		s.wg.Done()
+	}()
+	in := bufio.NewScanner(conn)
+	out := bufio.NewWriter(conn)
+	for in.Scan() {
+		resp := s.exec(w, in.Text())
+		out.WriteString(resp)
+		out.WriteByte('\n')
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// exec parses and applies one request line, recording the data-path
+// service time against the request's (source) tenant.
+func (s *Server) exec(w *worker, line string) string {
+	req, err := kvwire.ParseRequest(line, s.cfg.Tenants)
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	if req.Op >= kvwire.OpCount {
+		return s.execControl(w, req)
+	}
+	t0 := time.Now()
+	resp := s.apply(w.th, req)
+	s.rec.Record(w.idx, req.Tenant, int(req.Op), time.Since(t0))
+	return resp
+}
+
+func (s *Server) apply(th *repro.Thread, req kvwire.Request) string {
+	switch req.Op {
+	case kvwire.OpGet:
+		if v, ok := s.maps[req.Tenant].Contains(th, req.Keys[0]); ok {
+			return "OK " + strconv.FormatUint(v, 10)
+		}
+		return "NF"
+	case kvwire.OpPut:
+		if s.maps[req.Tenant].Insert(th, req.Keys[0], req.Val) {
+			return "OK"
+		}
+		return "EXISTS"
+	case kvwire.OpDel:
+		if v, ok := s.maps[req.Tenant].Remove(th, req.Keys[0]); ok {
+			return "OK " + strconv.FormatUint(v, 10)
+		}
+		return "NF"
+	case kvwire.OpPush:
+		if s.queues[req.Tenant].Enqueue(th, req.Val) {
+			return "OK"
+		}
+		return "ERR queue full"
+	case kvwire.OpPop:
+		if v, ok := s.queues[req.Tenant].Dequeue(th); ok {
+			return "OK " + strconv.FormatUint(v, 10)
+		}
+		return "NF"
+	case kvwire.OpMove:
+		// The product composition: the entry leaves req.Tenant's map and
+		// appears in req.DTenant's in one linearization — never in both,
+		// never in neither.
+		if v, ok := repro.Move(th, s.maps[req.Tenant], s.maps[req.DTenant], req.Keys[0], req.TKeys[0]); ok {
+			return "OK " + strconv.FormatUint(v, 10)
+		}
+		return "FAIL"
+	case kvwire.OpXfer:
+		vs, ok := repro.TransferKeys(th, s.maps[req.Tenant], s.maps[req.DTenant], req.Keys, req.TKeys)
+		if !ok {
+			return "FAIL"
+		}
+		return "OK " + joinU64(vs)
+	case kvwire.OpDrain:
+		vs := repro.DrainN(th, s.queues[req.Tenant], s.queues[req.DTenant], 0, 0, req.N)
+		if len(vs) == 0 {
+			return "OK"
+		}
+		return "OK " + joinU64(vs)
+	}
+	return "ERR unreachable"
+}
+
+func (s *Server) execControl(w *worker, req kvwire.Request) string {
+	switch req.Op {
+	case kvwire.OpPing:
+		return "OK"
+	case kvwire.OpStats:
+		b, err := json.Marshal(s.Stats())
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + string(b)
+	case kvwire.OpAudit:
+		mapN, mapSum, queueN := s.Audit(w.th)
+		return fmt.Sprintf("OK %d %d %d", mapN, mapSum, queueN)
+	}
+	return "ERR unreachable"
+}
+
+// Stats merges the per-worker histogram stripes into the kvwire report
+// document: one row per (tenant, op) with traffic, plus per-tenant
+// "all" rows. It is safe to call concurrently with traffic.
+func (s *Server) Stats() kvwire.Doc {
+	doc := kvwire.NewDoc()
+	wall := float64(time.Since(s.started).Nanoseconds())
+	for tn := 0; tn < s.cfg.Tenants; tn++ {
+		for op := 0; op < int(kvwire.OpCount); op++ {
+			snap := s.rec.Merged(tn, op)
+			if snap.Count == 0 {
+				continue
+			}
+			doc.Rows = append(doc.Rows, kvwire.RowFrom("kvserver",
+				strconv.Itoa(tn), kvwire.Op(op).String(), s.cfg.Workers, snap, wall))
+		}
+		if snap := s.rec.MergedTenant(tn); snap.Count > 0 {
+			doc.Rows = append(doc.Rows, kvwire.RowFrom("kvserver",
+				strconv.Itoa(tn), "all", s.cfg.Workers, snap, wall))
+		}
+	}
+	return doc
+}
+
+// Audit sweeps every tenant container and returns the conservation
+// totals: map entries and wrapping value-sum, and queued elements.
+// Composed operations never change any of them. The sweep races
+// in-flight traffic benignly (each read is atomic) but is only an
+// exact conservation witness on a quiesced server — kvload audits
+// after its workers finish.
+func (s *Server) Audit(th *repro.Thread) (mapCount, mapSum, queueCount uint64) {
+	for tn := 0; tn < s.cfg.Tenants; tn++ {
+		for _, k := range s.maps[tn].Keys(th) {
+			if v, ok := s.maps[tn].Contains(th, k); ok {
+				mapCount++
+				mapSum += v
+			}
+		}
+		queueCount += uint64(s.queues[tn].Len(th))
+	}
+	return
+}
+
+func joinU64(vs []uint64) string {
+	b := make([]byte, 0, len(vs)*8)
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, v, 10)
+	}
+	return string(b)
+}

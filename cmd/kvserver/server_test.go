@@ -1,0 +1,286 @@
+package main
+
+// End-to-end smoke coverage for the service: an in-process server on a
+// loopback listener, concurrent raw-TCP clients running the mixed
+// get/put/del + move/transfer/push/pop/drain workload, and a two-level
+// conservation check — the wire-level AUDIT totals against
+// response-tracked expectations, then a direct in-process sweep of the
+// tenant maps asserting every tracked value is present in EXACTLY one
+// tenant map (a moved or transferred entry may change maps, never
+// duplicate or vanish). Run under -race in CI.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kvwire"
+	"repro/internal/xrand"
+)
+
+// client is one test connection with response parsing.
+type client struct {
+	conn net.Conn
+	in   *bufio.Scanner
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	return &client{conn: conn, in: bufio.NewScanner(conn)}
+}
+
+func (c *client) roundTrip(t *testing.T, line string, values bool) kvwire.Response {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		t.Fatalf("send %q: %v", line, err)
+	}
+	if !c.in.Scan() {
+		t.Fatalf("no response to %q: %v", line, c.in.Err())
+	}
+	r, err := kvwire.ParseResponse(c.in.Text(), values)
+	if err != nil {
+		t.Fatalf("response to %q: %v", line, err)
+	}
+	return r
+}
+
+// ledger tracks, from successful responses only, the values that must
+// be live in the tenant maps / queues when the run quiesces. Entries
+// are signed per-value deltas (+1 per successful PUT, −1 per
+// successful DEL), not a set: the ledger's mutex is taken after the
+// server's linearization, so two clients racing PUT/DEL on one key can
+// reach the ledger in the opposite order — deltas commute, set
+// add/remove does not. Values are globally unique tokens, so at
+// quiesce each delta must be 0 (created then deleted) or 1 (live);
+// anything else is itself a conservation violation.
+type ledger struct {
+	mu     sync.Mutex
+	mapped map[uint64]int
+	queued int64
+}
+
+func (l *ledger) put(v uint64) {
+	l.mu.Lock()
+	l.mapped[v]++
+	l.mu.Unlock()
+}
+
+func (l *ledger) del(v uint64) {
+	l.mu.Lock()
+	l.mapped[v]--
+	l.mu.Unlock()
+}
+
+func (l *ledger) queue(delta int64) {
+	l.mu.Lock()
+	l.queued += delta
+	l.mu.Unlock()
+}
+
+// live returns the values with delta 1, failing on any other nonzero
+// delta (a value deleted twice or never created).
+func (l *ledger) live(t *testing.T) map[uint64]struct{} {
+	t.Helper()
+	out := make(map[uint64]struct{})
+	for v, d := range l.mapped {
+		switch d {
+		case 0:
+		case 1:
+			out[v] = struct{}{}
+		default:
+			t.Fatalf("value %d has impossible ledger delta %d", v, d)
+		}
+	}
+	return out
+}
+
+func TestKVServerE2E(t *testing.T) {
+	const (
+		tenants = 3
+		clients = 6
+		opsEach = 1500
+		keys    = 64 // small key range per tenant → real collisions
+	)
+	s := NewServer(Config{Tenants: tenants, Workers: clients + 2, Shards: 2, Buckets: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	addr := ln.Addr().String()
+
+	led := &ledger{mapped: make(map[uint64]int)}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := dial(t, addr)
+			defer cl.conn.Close()
+			rng := xrand.New(uint64(c)*0x9e3779b97f4a7c15 + 1)
+			seq := uint64(0)
+			fresh := func() uint64 {
+				seq++
+				return uint64(c+1)<<40 | seq // globally unique token
+			}
+			for i := 0; i < opsEach; i++ {
+				tn := int(rng.Uint64() % tenants)
+				dt := (tn + 1 + int(rng.Uint64()%(tenants-1))) % tenants
+				k := rng.Uint64() % keys
+				var r kvwire.Response
+				switch p := rng.Uint64() % 100; {
+				case p < 30:
+					v := fresh()
+					r = cl.roundTrip(t, fmt.Sprintf("PUT %d %d %d", tn, k, v), true)
+					if r.OK() {
+						led.put(v)
+					}
+				case p < 45:
+					r = cl.roundTrip(t, fmt.Sprintf("GET %d %d", tn, k), true)
+				case p < 55:
+					r = cl.roundTrip(t, fmt.Sprintf("DEL %d %d", tn, k), true)
+					if r.OK() {
+						led.del(r.Vals[0])
+					}
+				case p < 70:
+					// The composed product op: entry leaves map tn, enters
+					// map dt, atomically. The ledger is value-keyed, so a
+					// successful move changes nothing in it — that is the
+					// conservation claim under test.
+					r = cl.roundTrip(t, fmt.Sprintf("MOVE %d %d %d %d", tn, dt, k, rng.Uint64()%keys), true)
+				case p < 80:
+					sk1, sk2 := k, (k+1+rng.Uint64()%(keys-1))%keys
+					tk1, tk2 := rng.Uint64()%keys, (k+3)%keys
+					if tk2 == tk1 {
+						tk2 = (tk1 + 1) % keys
+					}
+					r = cl.roundTrip(t, fmt.Sprintf("XFER %d %d %d,%d %d,%d", tn, dt, sk1, sk2, tk1, tk2), true)
+				case p < 85:
+					r = cl.roundTrip(t, fmt.Sprintf("PUSH %d %d", tn, fresh()), true)
+					if r.OK() {
+						led.queue(1)
+					}
+				case p < 90:
+					r = cl.roundTrip(t, fmt.Sprintf("POP %d", tn), true)
+					if r.OK() {
+						led.queue(-1)
+					}
+				default:
+					r = cl.roundTrip(t, fmt.Sprintf("DRAIN %d %d %d", tn, dt, 1+rng.Uint64()%4), true)
+				}
+				if r.Status == "ERR" {
+					t.Errorf("client %d: unexpected ERR %q", c, r.Raw)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Level 1: the wire-level audit against response-tracked totals.
+	cl := dial(t, addr)
+	defer cl.conn.Close()
+	live := led.live(t)
+	var wantSum uint64
+	for v := range live {
+		wantSum += v
+	}
+	r := cl.roundTrip(t, "AUDIT", true)
+	if !r.OK() || len(r.Vals) != 3 {
+		t.Fatalf("AUDIT: %+v", r)
+	}
+	if r.Vals[0] != uint64(len(live)) || r.Vals[1] != wantSum || r.Vals[2] != uint64(led.queued) {
+		t.Fatalf("conservation audit failed: server maps=%d sum=%d queues=%d, ledger maps=%d sum=%d queues=%d",
+			r.Vals[0], r.Vals[1], r.Vals[2], len(live), wantSum, led.queued)
+	}
+
+	// STATS must report per-tenant per-op percentiles for the traffic.
+	st := cl.roundTrip(t, "STATS", false)
+	var doc kvwire.Doc
+	if err := json.Unmarshal([]byte(st.Raw), &doc); err != nil {
+		t.Fatalf("STATS JSON: %v\n%s", err, st.Raw)
+	}
+	var moveRows int
+	for _, row := range doc.Rows {
+		if row.Ops == 0 || row.P50NS < 0 || row.P999NS < row.P50NS {
+			t.Fatalf("implausible stats row %+v", row)
+		}
+		if row.Op == "MOVE" {
+			moveRows++
+		}
+	}
+	if moveRows == 0 {
+		t.Fatal("STATS reported no MOVE rows despite move traffic")
+	}
+
+	// Level 2: quiesce and sweep the maps in-process — every ledger
+	// value present, no value twice (an entry lives in exactly one
+	// tenant map even after arbitrary moves and transfers).
+	s.Close()
+	w := <-s.workers
+	seen := make(map[uint64]int)
+	for tn := 0; tn < tenants; tn++ {
+		for _, k := range s.maps[tn].Keys(w.th) {
+			if v, ok := s.maps[tn].Contains(w.th, k); ok {
+				seen[v]++
+			}
+		}
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("value %d present in %d map slots (duplicated by a move?)", v, n)
+		}
+		if _, ok := live[v]; !ok {
+			t.Errorf("value %d in a map but not live in the ledger", v)
+		}
+	}
+	for v := range live {
+		if seen[v] == 0 {
+			t.Errorf("ledger value %d lost (in no tenant map)", v)
+		}
+	}
+}
+
+// TestServerProtocolErrors checks that malformed requests produce ERR
+// without poisoning the connection.
+func TestServerProtocolErrors(t *testing.T) {
+	s := NewServer(Config{Tenants: 2, Workers: 2, Shards: 1, Buckets: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Close()
+
+	cl := dial(t, ln.Addr().String())
+	defer cl.conn.Close()
+	for _, bad := range []string{"WAT 1 2", "GET 9 1", "MOVE 0 0 1 1", "PUT 0 x y"} {
+		if r := cl.roundTrip(t, bad, false); r.Status != "ERR" {
+			t.Errorf("%q: got %q, want ERR", bad, r.Status)
+		}
+	}
+	// The connection must still work.
+	if r := cl.roundTrip(t, "PING", false); !r.OK() {
+		t.Fatalf("PING after errors: %+v", r)
+	}
+	if r := cl.roundTrip(t, "PUT 1 5 500", false); !r.OK() {
+		t.Fatalf("PUT after errors: %+v", r)
+	}
+	if r := cl.roundTrip(t, "GET 1 5", true); !r.OK() || r.Vals[0] != 500 {
+		t.Fatalf("GET after errors: %+v", r)
+	}
+	if !strings.HasPrefix(cl.roundTrip(t, "STATS", false).Raw, "{") {
+		t.Fatal("STATS did not return JSON")
+	}
+}

@@ -159,6 +159,15 @@
 // RegisterThread and pass its *Thread to every call; the Thread carries
 // the hazard-pointer slots, memory caches and the move state the paper
 // keeps in thread-local storage.
+//
+// # Finding your way around
+//
+// ARCHITECTURE.md at the repository root maps the internal packages
+// this facade fronts — the layering from the word encoding up through
+// the k-word CAS engine, the containers and the measurement stack —
+// with the descriptor/helping protocol drawn out and a section-by-
+// section mapping to the paper. docs/measurement.md explains the
+// benchmarking methodology; cmd/README.md the runnable tools.
 package repro
 
 import (

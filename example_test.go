@@ -59,6 +59,50 @@ func ExampleMoveN() {
 	// 1 1
 }
 
+// ExampleTransferKeys moves several keyed entries between two hash
+// maps in one k-word CAS: all of them move, or none do.
+func ExampleTransferKeys() {
+	rt := repro.NewRuntime(repro.Config{MaxThreads: 1})
+	th := rt.RegisterThread()
+	src := repro.NewHashMap(th, 8)
+	dst := repro.NewHashMap(th, 8)
+
+	src.Insert(th, 1, 100)
+	src.Insert(th, 2, 200)
+	vals, ok := repro.TransferKeys(th, src, dst, []uint64{1, 2}, []uint64{10, 20})
+	fmt.Println(vals, ok)
+	fmt.Println(src.Len(th), dst.Len(th))
+
+	// A missing source key fails the whole transfer; nothing moves.
+	_, ok = repro.TransferKeys(th, dst, src, []uint64{10, 99}, []uint64{1, 2})
+	fmt.Println(ok, dst.Len(th))
+	// Output:
+	// [100 200] true
+	// 0 2
+	// false 2
+}
+
+// ExampleDrainN streams elements from one queue into another under a
+// single amortized descriptor lifecycle. Each element's move is its own
+// atomic operation (amortization, not a transaction), and the drain
+// stops early when the source runs dry.
+func ExampleDrainN() {
+	rt := repro.NewRuntime(repro.Config{MaxThreads: 1})
+	th := rt.RegisterThread()
+	src := repro.NewQueue(th)
+	dst := repro.NewQueue(th)
+
+	for v := uint64(1); v <= 3; v++ {
+		src.Enqueue(th, v)
+	}
+	moved := repro.DrainN(th, src, dst, 0, 0, 5) // asks for 5, gets 3
+	fmt.Println(moved)
+	fmt.Println(src.Len(th), dst.Len(th))
+	// Output:
+	// [1 2 3]
+	// 0 3
+}
+
 // ExampleMoveTyped shows the generics layer: moving a Go struct between
 // typed containers backed by one Box.
 func ExampleMoveTyped() {

@@ -77,9 +77,9 @@ func (t *Thread) scasRemoveSlow(w *word.Word, old, new, element, hp uint64) FRes
 		return t.moveNRemoveSCAS(w, old, new, element, hp)
 	}
 	e := &t.desc.Entries[0]
-	e.Ptr, e.Old, e.New = w, old, new // M11–M13
-	e.HP = word.NodeIndex(hp)         // M14
-	t.insfailed = true                // M15
+	e.Ptr, e.Old, e.New = w, old, new           // M11–M13
+	e.HP = word.NodeIndex(hp)                   // M14
+	t.insfailed = true                          // M15
 	ok := t.ltarget.Insert(t, t.ltkey, element) // M16
 	if t.insfailed {                            // M17: the insert never reached its scas
 		return FAbort // M18

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/elim"
 	"repro/internal/hashmap"
+	"repro/internal/latency"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -75,6 +76,12 @@ type YCSBOptions struct {
 	Adaptive             bool
 	AdaptEpochOps        int
 	Contention           Contention
+	// Latency switches on per-operation latency recording into striped
+	// HDR histograms (package latency), surfaced as per-tenant
+	// percentile snapshots in YCSBResult.Latency. Opt-in: recording
+	// costs a time.Now() pair per operation, which throughput-focused
+	// cells should not pay.
+	Latency bool
 	// PrefillFraction of each tenant's range is pre-inserted into each
 	// map (percent; default 50).
 	PrefillFraction int
@@ -153,6 +160,10 @@ type YCSBResult struct {
 	Grows, Migrated      float64
 	ElimHits, ElimMisses float64
 	Adapt                AdaptAgg
+	// Latency holds one merged histogram snapshot per tenant (over all
+	// of the tenant's operations and all trials) when Options.Latency
+	// was set; query percentiles with Snapshot.Percentile.
+	Latency []latency.Snapshot
 }
 
 // MeanMS returns the mean adjusted duration in milliseconds.
@@ -167,8 +178,20 @@ func RunYCSB(o YCSBOptions) YCSBResult {
 	for i := range o.Tenants {
 		res.PerTenant[i].Name = o.Tenants[i].Name
 	}
+	if o.Latency {
+		res.Latency = make([]latency.Snapshot, len(o.Tenants))
+	}
 	for trial := 0; trial < o.Trials; trial++ {
-		m := runYCSBTrial(o, uint64(trial), res.PerTenant)
+		var rec *latency.Recorder
+		if o.Latency {
+			rec = latency.NewRecorder(o.Threads, len(o.Tenants), 4)
+		}
+		m := runYCSBTrial(o, uint64(trial), res.PerTenant, rec)
+		if rec != nil {
+			for i := range o.Tenants {
+				res.Latency[i].Merge(rec.MergedTenant(i))
+			}
+		}
 		res.SamplesNS = append(res.SamplesNS, m.adjNS)
 		res.Grows += m.grows / float64(o.Trials)
 		res.Migrated += m.migrated / float64(o.Trials)
@@ -180,7 +203,7 @@ func RunYCSB(o YCSBOptions) YCSBResult {
 	return res
 }
 
-func runYCSBTrial(o YCSBOptions, trial uint64, perTenant []TenantOps) mapTrialResult {
+func runYCSBTrial(o YCSBOptions, trial uint64, perTenant []TenantOps, rec *latency.Recorder) mapTrialResult {
 	totalKeys := 0
 	for _, tn := range o.Tenants {
 		totalKeys += tn.Keys
@@ -254,6 +277,7 @@ func runYCSBTrial(o YCSBOptions, trial uint64, perTenant []TenantOps) mapTrialRe
 			sd := mean / workStddevFraction
 			var work float64
 			c := &counts[w]
+			ti := w % len(o.Tenants)
 			start.Wait()
 			t0 := time.Now()
 			for i := 0; i < perThread; i++ {
@@ -263,19 +287,30 @@ func runYCSBTrial(o YCSBOptions, trial uint64, perTenant []TenantOps) mapTrialRe
 					src, dst = mb, ma
 				}
 				p := int(rng.Uint64() % 100)
+				var opStart time.Time
+				if rec != nil {
+					opStart = time.Now()
+				}
+				op := 0
 				switch {
 				case p < tn.MovePct:
 					th.Move(src, dst, k, k)
 					c.Moves++
+					op = 3
 				case p < tn.MovePct+tn.InsertPct:
 					src.Insert(th, k, rng.Uint64())
 					c.Inserts++
+					op = 1
 				case p < tn.MovePct+tn.InsertPct+tn.RemovePct:
 					src.Remove(th, k)
 					c.Removes++
+					op = 2
 				default:
 					src.Contains(th, k)
 					c.Reads++
+				}
+				if rec != nil {
+					rec.Record(w, ti, op, time.Since(opStart))
 				}
 				if mean > 0 {
 					w := rng.NormDuration(mean, sd)

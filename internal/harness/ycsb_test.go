@@ -44,6 +44,39 @@ func TestRunYCSBSmoke(t *testing.T) {
 	}
 }
 
+// TestRunYCSBLatency: opting into latency recording yields one
+// plausible per-tenant histogram snapshot per tenant, covering every
+// operation the tenant issued across all trials.
+func TestRunYCSBLatency(t *testing.T) {
+	r := RunYCSB(YCSBOptions{
+		Threads:  3,
+		TotalOps: 30000,
+		Trials:   2,
+		Tenants:  TenantsABC(256),
+		Latency:  true,
+	})
+	if len(r.Latency) != len(r.PerTenant) {
+		t.Fatalf("got %d latency snapshots for %d tenants", len(r.Latency), len(r.PerTenant))
+	}
+	for i, s := range r.Latency {
+		pt := r.PerTenant[i]
+		issued := pt.Reads + pt.Inserts + pt.Removes + pt.Moves
+		if s.Count != issued {
+			t.Errorf("tenant %s: histogram count %d, issued %d ops", pt.Name, s.Count, issued)
+		}
+		p50, p999 := s.Percentile(0.50), s.Percentile(0.999)
+		if p50 <= 0 || p999 < p50 || s.MaxNS < p999 {
+			t.Errorf("tenant %s: implausible percentiles p50=%d p999=%d max=%d",
+				pt.Name, p50, p999, s.MaxNS)
+		}
+	}
+	// Off by default: no snapshots, no recording cost.
+	r2 := RunYCSB(YCSBOptions{Threads: 2, TotalOps: 2000, Tenants: TenantsABC(64)})
+	if r2.Latency != nil {
+		t.Fatalf("latency snapshots present without opt-in: %+v", r2.Latency)
+	}
+}
+
 // TestRunYCSBAdaptiveSmoke: the adaptive mixed-tenant cell samples
 // epochs while the tenants run.
 func TestRunYCSBAdaptiveSmoke(t *testing.T) {

@@ -1,0 +1,351 @@
+// Package kvwire defines the wire protocol and the report format
+// shared by cmd/kvserver and cmd/kvload, so the two binaries cannot
+// drift apart: the server parses requests with ParseRequest, the load
+// generator serializes them with Request.Append, and both sides speak
+// the same response grammar.
+//
+// # Protocol
+//
+// The protocol is line-oriented text over TCP: one request per line,
+// space-separated tokens, one response line per request, in order.
+// Tenants are integer ids 0..N-1 (the server declares N at startup);
+// keys and values are decimal uint64s.
+//
+//	GET <tenant> <key>                     → OK <val> | NF
+//	PUT <tenant> <key> <val>               → OK | EXISTS
+//	DEL <tenant> <key>                     → OK <val> | NF
+//	PUSH <tenant> <val>                    → OK
+//	POP <tenant>                           → OK <val> | NF
+//	MOVE <stenant> <dtenant> <skey> <tkey> → OK <val> | FAIL
+//	XFER <stenant> <dtenant> <sk,..> <tk,..> → OK <v,..> | FAIL
+//	DRAIN <stenant> <dtenant> <n>          → OK <v,..> (may be empty)
+//	STATS                                  → OK <one-line JSON>
+//	AUDIT                                  → OK <mapN> <mapSum> <queueN>
+//	PING                                   → OK
+//
+// GET/PUT/DEL address a tenant's map; PUSH/POP its queue. The three
+// composed operations are the product feature: MOVE atomically
+// relocates one entry between two tenants' maps (repro.Move — the
+// entry is never in both maps nor in neither), XFER moves up to four
+// keyed entries in one k-word CAS (repro.TransferKeys — FAIL also
+// covers chain-dependent keys, retryable as per-key MOVEs), and DRAIN
+// streams up to n elements between two tenants' queues under one
+// amortized descriptor lifecycle (repro.DrainN). Composed operations
+// require two distinct tenants; ParseRequest rejects same-tenant
+// pairs. AUDIT returns conservation totals: entries and value-sum
+// (wrapping uint64) over all tenant maps, and entries over all tenant
+// queues — moves and transfers must leave all three unchanged.
+//
+// Error responses are "ERR <message>"; the connection stays usable.
+package kvwire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op identifies a request kind; it doubles as the operation index of
+// the server's and load generator's latency recorders.
+type Op int
+
+// The request kinds. The first OpCount values are the data-path
+// operations latency histograms are kept for; STATS, AUDIT and PING
+// are control-plane commands.
+const (
+	OpGet Op = iota
+	OpPut
+	OpDel
+	OpPush
+	OpPop
+	OpMove
+	OpXfer
+	OpDrain
+	OpCount // number of data-path op kinds
+
+	OpStats
+	OpAudit
+	OpPing
+)
+
+var opNames = map[Op]string{
+	OpGet: "GET", OpPut: "PUT", OpDel: "DEL", OpPush: "PUSH", OpPop: "POP",
+	OpMove: "MOVE", OpXfer: "XFER", OpDrain: "DRAIN",
+	OpStats: "STATS", OpAudit: "AUDIT", OpPing: "PING",
+}
+
+// String returns the protocol verb.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// MaxXferKeys is the key-pair limit of XFER (repro.TransferKeys' k-CAS
+// width budget: 2 CASes per pair, 8 entries per descriptor).
+const MaxXferKeys = 4
+
+// Request is one parsed client request.
+type Request struct {
+	Op Op
+	// Tenant is the addressed tenant (GET/PUT/DEL/PUSH/POP) or the
+	// source tenant of a composed operation; DTenant is the composed
+	// operation's destination tenant.
+	Tenant, DTenant int
+	// Keys/TKeys carry the source/target keys: one each for GET, PUT,
+	// DEL and MOVE; up to MaxXferKeys each for XFER.
+	Keys, TKeys []uint64
+	// Val is PUT's and PUSH's value.
+	Val uint64
+	// N is DRAIN's element budget.
+	N int
+}
+
+// Append serializes the request as one protocol line (including the
+// trailing newline) onto dst and returns the extended slice.
+func (r Request) Append(dst []byte) []byte {
+	dst = append(dst, r.Op.String()...)
+	switch r.Op {
+	case OpGet, OpDel:
+		dst = appendInts(dst, r.Tenant, r.Keys[0])
+	case OpPut:
+		dst = appendInts(dst, r.Tenant, r.Keys[0], r.Val)
+	case OpPush:
+		dst = appendInts(dst, r.Tenant, r.Val)
+	case OpPop:
+		dst = appendInts(dst, r.Tenant)
+	case OpMove:
+		dst = appendInts(dst, r.Tenant, r.DTenant, r.Keys[0], r.TKeys[0])
+	case OpXfer:
+		dst = appendInts(dst, r.Tenant, r.DTenant)
+		dst = append(dst, ' ')
+		dst = appendList(dst, r.Keys)
+		dst = append(dst, ' ')
+		dst = appendList(dst, r.TKeys)
+	case OpDrain:
+		dst = appendInts(dst, r.Tenant, r.DTenant, uint64(r.N))
+	case OpStats, OpAudit, OpPing:
+		// verb only
+	}
+	return append(dst, '\n')
+}
+
+func appendInts(dst []byte, vs ...interface{}) []byte {
+	for _, v := range vs {
+		dst = append(dst, ' ')
+		switch x := v.(type) {
+		case int:
+			dst = strconv.AppendInt(dst, int64(x), 10)
+		case uint64:
+			dst = strconv.AppendUint(dst, x, 10)
+		}
+	}
+	return dst
+}
+
+func appendList(dst []byte, vs []uint64) []byte {
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendUint(dst, v, 10)
+	}
+	return dst
+}
+
+// ParseRequest parses one protocol line (without the newline) and
+// validates tenant ids against the server's tenant count and composed
+// operations' tenant-distinctness.
+func ParseRequest(line string, tenants int) (Request, error) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return Request{}, fmt.Errorf("empty request")
+	}
+	var r Request
+	switch f[0] {
+	case "GET", "DEL":
+		r.Op = OpGet
+		if f[0] == "DEL" {
+			r.Op = OpDel
+		}
+		if err := parseArgs(f, 2, &r, tenants, false); err != nil {
+			return r, err
+		}
+		k, err := parseU64(f[2])
+		if err != nil {
+			return r, err
+		}
+		r.Keys = []uint64{k}
+	case "PUT":
+		r.Op = OpPut
+		if err := parseArgs(f, 3, &r, tenants, false); err != nil {
+			return r, err
+		}
+		k, err := parseU64(f[2])
+		if err != nil {
+			return r, err
+		}
+		v, err := parseU64(f[3])
+		if err != nil {
+			return r, err
+		}
+		r.Keys, r.Val = []uint64{k}, v
+	case "PUSH":
+		r.Op = OpPush
+		if err := parseArgs(f, 2, &r, tenants, false); err != nil {
+			return r, err
+		}
+		v, err := parseU64(f[2])
+		if err != nil {
+			return r, err
+		}
+		r.Val = v
+	case "POP":
+		r.Op = OpPop
+		if err := parseArgs(f, 1, &r, tenants, false); err != nil {
+			return r, err
+		}
+	case "MOVE":
+		r.Op = OpMove
+		if err := parseArgs(f, 4, &r, tenants, true); err != nil {
+			return r, err
+		}
+		sk, err := parseU64(f[3])
+		if err != nil {
+			return r, err
+		}
+		tk, err := parseU64(f[4])
+		if err != nil {
+			return r, err
+		}
+		r.Keys, r.TKeys = []uint64{sk}, []uint64{tk}
+	case "XFER":
+		r.Op = OpXfer
+		if err := parseArgs(f, 4, &r, tenants, true); err != nil {
+			return r, err
+		}
+		var err error
+		if r.Keys, err = parseList(f[3]); err != nil {
+			return r, err
+		}
+		if r.TKeys, err = parseList(f[4]); err != nil {
+			return r, err
+		}
+		if len(r.Keys) != len(r.TKeys) {
+			return r, fmt.Errorf("XFER key lists differ in length")
+		}
+		if len(r.Keys) == 0 || len(r.Keys) > MaxXferKeys {
+			return r, fmt.Errorf("XFER takes 1..%d key pairs", MaxXferKeys)
+		}
+	case "DRAIN":
+		r.Op = OpDrain
+		if err := parseArgs(f, 3, &r, tenants, true); err != nil {
+			return r, err
+		}
+		n, err := strconv.Atoi(f[3])
+		if err != nil || n < 1 {
+			return r, fmt.Errorf("bad DRAIN count %q", f[3])
+		}
+		r.N = n
+	case "STATS", "AUDIT", "PING":
+		r.Op = map[string]Op{"STATS": OpStats, "AUDIT": OpAudit, "PING": OpPing}[f[0]]
+		if len(f) != 1 {
+			return r, fmt.Errorf("%s takes no arguments", f[0])
+		}
+	default:
+		return r, fmt.Errorf("unknown command %q", f[0])
+	}
+	return r, nil
+}
+
+// parseArgs checks the token count and fills the tenant fields (two
+// tenants when composed is set, which also enforces distinctness).
+func parseArgs(f []string, nargs int, r *Request, tenants int, composed bool) error {
+	if len(f) != nargs+1 {
+		return fmt.Errorf("%s takes %d arguments", f[0], nargs)
+	}
+	t, err := parseTenant(f[1], tenants)
+	if err != nil {
+		return err
+	}
+	r.Tenant = t
+	if composed {
+		d, err := parseTenant(f[2], tenants)
+		if err != nil {
+			return err
+		}
+		if d == t {
+			return fmt.Errorf("%s requires two distinct tenants", f[0])
+		}
+		r.DTenant = d
+	}
+	return nil
+}
+
+func parseTenant(s string, tenants int) (int, error) {
+	t, err := strconv.Atoi(s)
+	if err != nil || t < 0 || t >= tenants {
+		return 0, fmt.Errorf("bad tenant %q (want 0..%d)", s, tenants-1)
+	}
+	return t, nil
+}
+
+func parseU64(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+func parseList(s string) ([]uint64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		v, err := parseU64(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Response is one parsed server response.
+type Response struct {
+	// Status is "OK", "NF", "EXISTS", "FAIL" or "ERR".
+	Status string
+	// Vals are the response's numeric payloads (value of GET/DEL/POP/
+	// MOVE, value list of XFER/DRAIN, the three AUDIT totals).
+	Vals []uint64
+	// Raw is the rest of the line verbatim (ERR message, STATS JSON).
+	Raw string
+}
+
+// OK reports whether the request succeeded.
+func (r Response) OK() bool { return r.Status == "OK" }
+
+// ParseResponse parses one response line (without the newline). values
+// selects whether the OK payload is numeric (data-path responses) or
+// raw text (STATS).
+func ParseResponse(line string, values bool) (Response, error) {
+	status, rest, _ := strings.Cut(line, " ")
+	r := Response{Status: status, Raw: rest}
+	switch status {
+	case "OK":
+		if values && rest != "" {
+			for _, tok := range strings.Fields(rest) {
+				vs, err := parseList(tok)
+				if err != nil {
+					return r, fmt.Errorf("bad OK payload %q", rest)
+				}
+				r.Vals = append(r.Vals, vs...)
+			}
+		}
+	case "NF", "EXISTS", "FAIL", "ERR":
+	default:
+		return r, fmt.Errorf("unknown response status %q", status)
+	}
+	return r, nil
+}

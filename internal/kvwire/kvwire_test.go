@@ -1,0 +1,92 @@
+package kvwire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRequestRoundTrip serializes every request kind and parses it
+// back — the property that keeps kvserver and kvload on one grammar.
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Tenant: 1, Keys: []uint64{7}},
+		{Op: OpPut, Tenant: 0, Keys: []uint64{9}, Val: 123456789},
+		{Op: OpDel, Tenant: 2, Keys: []uint64{0}},
+		{Op: OpPush, Tenant: 2, Val: 42},
+		{Op: OpPop, Tenant: 0},
+		{Op: OpMove, Tenant: 0, DTenant: 2, Keys: []uint64{5}, TKeys: []uint64{6}},
+		{Op: OpXfer, Tenant: 1, DTenant: 0, Keys: []uint64{1, 2, 3}, TKeys: []uint64{4, 5, 6}},
+		{Op: OpDrain, Tenant: 2, DTenant: 1, N: 16},
+		{Op: OpStats}, {Op: OpAudit}, {Op: OpPing},
+	}
+	for _, want := range reqs {
+		line := strings.TrimSuffix(string(want.Append(nil)), "\n")
+		got, err := ParseRequest(line, 3)
+		if err != nil {
+			t.Fatalf("ParseRequest(%q): %v", line, err)
+		}
+		if got.Op != want.Op || got.Tenant != want.Tenant || got.DTenant != want.DTenant ||
+			got.Val != want.Val || got.N != want.N ||
+			len(got.Keys) != len(want.Keys) || len(got.TKeys) != len(want.TKeys) {
+			t.Fatalf("round trip %q: got %+v want %+v", line, got, want)
+		}
+		for i := range want.Keys {
+			if got.Keys[i] != want.Keys[i] {
+				t.Fatalf("round trip %q: keys %v != %v", line, got.Keys, want.Keys)
+			}
+		}
+	}
+}
+
+func TestParseRequestRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"FLY 0 1",
+		"GET 0",                         // missing key
+		"GET 3 1",                       // tenant out of range
+		"GET -1 1",                      // negative tenant
+		"PUT 0 1",                       // missing value
+		"MOVE 1 1 2 3",                  // same tenant
+		"XFER 0 1 1,2 1",                // list length mismatch
+		"XFER 0 1 1,2,3,4,5 6,7,8,9,10", // too many pairs
+		"DRAIN 0 1 0",                   // n < 1
+		"DRAIN 0 0 4",                   // same tenant
+		"STATS now",                     // junk argument
+		"GET 0 notanumber",
+	}
+	for _, line := range bad {
+		if _, err := ParseRequest(line, 3); err == nil {
+			t.Errorf("ParseRequest(%q) unexpectedly succeeded", line)
+		}
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	r, err := ParseResponse("OK 17", true)
+	if err != nil || !r.OK() || len(r.Vals) != 1 || r.Vals[0] != 17 {
+		t.Fatalf("OK 17: %+v, %v", r, err)
+	}
+	r, err = ParseResponse("OK 1,2,3", true)
+	if err != nil || len(r.Vals) != 3 || r.Vals[2] != 3 {
+		t.Fatalf("OK 1,2,3: %+v, %v", r, err)
+	}
+	r, err = ParseResponse("OK 5 10 2", true) // AUDIT shape
+	if err != nil || len(r.Vals) != 3 {
+		t.Fatalf("AUDIT: %+v, %v", r, err)
+	}
+	r, err = ParseResponse(`OK {"rows":[]}`, false)
+	if err != nil || !r.OK() || r.Raw != `{"rows":[]}` {
+		t.Fatalf("STATS: %+v, %v", r, err)
+	}
+	r, err = ParseResponse("NF", true)
+	if err != nil || r.OK() {
+		t.Fatalf("NF: %+v, %v", r, err)
+	}
+	r, err = ParseResponse("ERR bad tenant", true)
+	if err != nil || r.Raw != "bad tenant" {
+		t.Fatalf("ERR: %+v, %v", r, err)
+	}
+	if _, err = ParseResponse("WAT", true); err == nil {
+		t.Fatal("unknown status must error")
+	}
+}

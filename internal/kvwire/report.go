@@ -1,0 +1,99 @@
+package kvwire
+
+import (
+	"runtime"
+
+	"repro/internal/latency"
+)
+
+// Row is one (tenant, op) latency record, the composebench -json row
+// shape extended with the percentile fields the service layer reports:
+// per-tenant, per-op p50/p99/p999 read out of merged HDR histograms.
+// In kvload output the latencies are response times measured from each
+// request's *intended* (scheduled) send time, so queueing a stalled
+// server causes shows up in the tail instead of being coordinated-
+// omission'd away; in kvserver STATS output they are server-side
+// service times.
+type Row struct {
+	Figure  string `json:"figure"` // "kvload" or "kvserver"
+	Tenant  string `json:"tenant"` // tenant id, or "all"
+	Op      string `json:"op"`     // protocol verb, or "all"
+	Threads int    `json:"threads"`
+	Ops     uint64 `json:"ops"`
+
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MeanNS    float64 `json:"mean_ns"`
+	P50NS     int64   `json:"p50_ns"`
+	P99NS     int64   `json:"p99_ns"`
+	P999NS    int64   `json:"p999_ns"`
+	MaxNS     int64   `json:"max_ns"`
+
+	// Late counts requests dispatched behind their intended schedule
+	// slot (kvload only): nonzero means the open-loop generator could
+	// not keep up and tail percentiles include backlog wait, exactly as
+	// they should.
+	Late uint64 `json:"late,omitempty"`
+}
+
+// RowFrom fills a Row from a merged snapshot. wallNS is the measured
+// interval the ops were recorded over (for ops/s; <= 0 omits it).
+func RowFrom(figure, tenant, op string, threads int, s latency.Snapshot, wallNS float64) Row {
+	r := Row{
+		Figure: figure, Tenant: tenant, Op: op, Threads: threads,
+		Ops:    s.Count,
+		MeanNS: s.MeanNS(),
+		P50NS:  s.Percentile(0.50),
+		P99NS:  s.Percentile(0.99),
+		P999NS: s.Percentile(0.999),
+		MaxNS:  s.MaxNS,
+	}
+	if wallNS > 0 {
+		r.OpsPerSec = float64(s.Count) * 1e9 / wallNS
+	}
+	return r
+}
+
+// Audit is the conservation verdict of one kvload run: the totals the
+// client expects from its tracked successful responses against the
+// totals the server's AUDIT command observed after quiesce. Moves,
+// transfers and drains must leave all three invariant — an entry
+// relocated between tenants is in exactly one map (or queue) at every
+// instant, so only PUT/DEL (and PUSH/POP) change the totals.
+type Audit struct {
+	Pass bool `json:"pass"`
+
+	ExpectMapCount uint64 `json:"expect_map_count"`
+	GotMapCount    uint64 `json:"got_map_count"`
+	// Map value-sums wrap around uint64; equality still witnesses the
+	// value multiset when values are unique random tokens.
+	ExpectMapSum     uint64 `json:"expect_map_sum"`
+	GotMapSum        uint64 `json:"got_map_sum"`
+	ExpectQueueCount uint64 `json:"expect_queue_count"`
+	GotQueueCount    uint64 `json:"got_queue_count"`
+}
+
+// Doc is the top-level JSON document both binaries emit: the
+// composebench -json layout (host_cpus + contended honesty flags, then
+// rows) extended with the load generator's schedule parameters and
+// conservation audit.
+type Doc struct {
+	HostCPUs  int  `json:"host_cpus"`
+	Contended bool `json:"contended"`
+
+	// RateRPS/DurationMS/Conns describe the kvload schedule (omitted in
+	// kvserver STATS output).
+	RateRPS    float64 `json:"rate_rps,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	Conns      int     `json:"conns,omitempty"`
+
+	Audit *Audit `json:"audit,omitempty"`
+	Rows  []Row  `json:"rows"`
+}
+
+// NewDoc returns a Doc with the host-honesty fields filled the same
+// way composebench fills them: Contended is false when the process had
+// one schedulable CPU, in which case "concurrent" latencies were
+// time-sliced and must not be compared against contended runs.
+func NewDoc() Doc {
+	return Doc{HostCPUs: runtime.NumCPU(), Contended: runtime.GOMAXPROCS(0) > 1}
+}

@@ -59,6 +59,31 @@ func Summarize(samples []float64) Summary {
 	return s
 }
 
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the samples by
+// linear interpolation between order statistics — the exact reference
+// the latency package's bucketed percentiles are validated against.
+// An empty slice yields 0.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
 // CI95 returns the half-width of an approximate 95% confidence interval
 // for the mean (normal approximation; the paper's 50 trials make this
 // reasonable).
