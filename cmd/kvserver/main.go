@@ -21,10 +21,19 @@
 // (p50/p99/p999/max per tenant and op) and AUDIT returns conservation
 // totals for the load generator's end-of-run check.
 //
+// Robustness (see docs/robustness.md): resource exhaustion answers
+// BUSY (or TIMEOUT once -deadline is set) instead of crashing, -wtimeout
+// sheds clients that stop draining responses, -slo enables per-tenant
+// overload shedding against a p99 service-time objective, and SIGTERM
+// drains gracefully — stop accepting, finish in-flight requests, print
+// a final STATS and AUDIT line, exit 0. -fault installs chaos-test
+// fault rules (stalls, parks, kills at descriptor-protocol windows).
+//
 // Example:
 //
 //	kvserver -addr :7070 -tenants 4 -workers 16
 //	kvserver -addr 127.0.0.1:7070 -tenants 3 -adaptive
+//	kvserver -deadline 50ms -slo 5ms -fault 'kcas-commit:stall=2ms:every=97'
 //
 // Drive it with cmd/kvload, or by hand:
 //
@@ -35,13 +44,29 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
 )
 
+// faultFlags collects repeatable -fault rule specs.
+type faultFlags []string
+
+func (f *faultFlags) String() string { return fmt.Sprint(*f) }
+func (f *faultFlags) Set(s string) error {
+	*f = append(*f, s)
+	return nil
+}
+
 func main() {
+	var faults faultFlags
 	var (
 		addr     = flag.String("addr", ":7070", "TCP listen address")
 		tenants  = flag.Int("tenants", 4, "number of tenants (each owns one map and one queue)")
@@ -49,15 +74,32 @@ func main() {
 		shards   = flag.Int("shards", 8, "shards per tenant map")
 		buckets  = flag.Int("buckets", 8, "initial buckets per shard")
 		arena    = flag.Int("arena", 1<<20, "container-node capacity across all tenants")
+		desccap  = flag.Int("desccap", 0, "k-word CAS descriptor capacity (0 = core default)")
 		elim     = flag.Bool("elim", false, "enable the elimination-backoff contention layer")
 		adaptive = flag.Bool("adaptive", false, "enable the adaptive contention-management subsystem")
+		deadline = flag.Duration("deadline", 0, "per-request service deadline; exhaustion retries until it, then TIMEOUT (0 = immediate BUSY)")
+		wtimeout = flag.Duration("wtimeout", 0, "per-response write timeout; slow clients are disconnected (0 = none)")
+		slo      = flag.Duration("slo", 0, "p99 service-time SLO; overload sheds lowest-priority tenants (0 = no shedding)")
 	)
+	flag.Var(&faults, "fault", "fault-injection rule (repeatable), e.g. 'kcas-commit:stall=2ms:every=97'")
 	flag.Parse()
+
+	var plan *repro.FaultPlan
+	if len(faults) > 0 {
+		var err error
+		if plan, err = repro.ParseFaultPlan(faults); err != nil {
+			fmt.Fprintln(os.Stderr, "kvserver: -fault:", err)
+			os.Exit(2)
+		}
+	}
 
 	s := NewServer(Config{
 		Tenants: *tenants, Workers: *workers,
 		Shards: *shards, Buckets: *buckets, Arena: *arena,
-		Elimination: *elim, Adaptive: *adaptive,
+		DescCapacity: *desccap,
+		Elimination:  *elim, Adaptive: *adaptive,
+		Deadline: *deadline, WriteTimeout: *wtimeout, SLO: *slo,
+		Fault: plan,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -66,8 +108,35 @@ func main() {
 	}
 	fmt.Printf("kvserver: %d tenants, %d workers, listening on %s\n",
 		*tenants, *workers, ln.Addr())
-	if err := s.Serve(ln); err != nil {
-		fmt.Fprintln(os.Stderr, "kvserver:", err)
-		os.Exit(1)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvserver:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		// Graceful drain: stop accepting, finish in-flight requests,
+		// then report the final state on stdout and exit clean. The
+		// audit runs on the setup thread (worker threads may have been
+		// fault-killed) after the server has quiesced, so its totals are
+		// an exact conservation witness.
+		fmt.Printf("kvserver: %v, draining\n", sig)
+		start := time.Now()
+		s.Drain()
+		blob, err := json.Marshal(s.Stats())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvserver: final stats:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("STATS %s\n", blob)
+		mapN, mapSum, queueN := s.Audit(s.SetupThread())
+		fmt.Printf("AUDIT %d %d %d\n", mapN, mapSum, queueN)
+		fmt.Printf("kvserver: drained in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -3,13 +3,16 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/backoff"
 	"repro/internal/kvwire"
 	"repro/internal/latency"
 )
@@ -29,8 +32,31 @@ type Config struct {
 	Shards, Buckets int
 	// Arena caps container nodes across all tenants (default 1<<20).
 	Arena int
+	// DescCapacity caps k-word CAS descriptors across the runtime
+	// (default: the core default, 1<<18). Driving the server past it
+	// yields BUSY responses, not a crash.
+	DescCapacity int
 	// Elimination/Adaptive switch on the contention layers.
 	Elimination, Adaptive bool
+	// Deadline bounds one request's service time: resource-exhaustion
+	// retries stop and the request answers TIMEOUT once it has been in
+	// service this long. Zero disables the retry loop — exhaustion
+	// answers BUSY immediately.
+	Deadline time.Duration
+	// WriteTimeout bounds one response write; a client that cannot
+	// drain its responses within it is disconnected (shed) so it cannot
+	// pin a worker forever. Zero disables.
+	WriteTimeout time.Duration
+	// SLO enables the per-tenant overload shedder: when the windowed
+	// p99 service time exceeds SLO, the highest tenant ids (lowest
+	// priority) get BUSY before execution, one more tenant per control
+	// period the overload persists; recovered windows re-admit them.
+	// Zero disables shedding.
+	SLO time.Duration
+	// Fault, when non-nil, is installed as the runtime's fault injector
+	// (chaos testing; see internal/fault). Drain releases any parked
+	// threads before waiting.
+	Fault *repro.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +78,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// shedPeriod is the overload controller's sampling interval: long
+// enough for a meaningful windowed p99, short enough to shed within a
+// human-noticeable overload.
+const shedPeriod = 250 * time.Millisecond
+
 // worker is one connection handler's identity: a registered Thread
 // (the per-goroutine context every container call needs) plus the
 // latency recorder stripe index it owns.
@@ -67,14 +98,32 @@ type worker struct {
 // one borrowed worker (Thread + histogram stripe); service times are
 // recorded per (tenant, op) into striped HDR histograms and reported
 // by STATS without stopping traffic.
+//
+// Degradation paths (see docs/robustness.md): resource exhaustion
+// answers BUSY/TIMEOUT instead of crashing, slow clients are shed by
+// write timeout, overload sheds low-priority tenants against the SLO,
+// fault-killed workers are retired (never returned to the pool), and
+// Drain performs the SIGTERM graceful shutdown.
 type Server struct {
 	cfg     Config
 	rt      *repro.Runtime
+	setup   *repro.Thread // construction + drain-time audit thread
 	maps    []*repro.HashMap
 	queues  []*repro.Queue
 	rec     *latency.Recorder
 	workers chan *worker
 	started time.Time
+
+	draining  atomic.Bool
+	shedLevel atomic.Int32
+	shedStop  chan struct{}
+
+	// Degradation counters (kvwire.RobustCounters, server-side fields).
+	busy        atomic.Uint64
+	timeouts    atomic.Uint64
+	shed        atomic.Uint64
+	slowClients atomic.Uint64
+	lostWorkers atomic.Uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -86,20 +135,27 @@ type Server struct {
 // NewServer builds the runtime, tenant containers and worker pool.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	rt := repro.NewRuntime(repro.Config{
+	rc := repro.Config{
 		MaxThreads:    cfg.Workers + 2,
 		ArenaCapacity: cfg.Arena,
+		DescCapacity:  cfg.DescCapacity,
 		Elimination:   repro.EliminationConfig{Enable: cfg.Elimination},
 		Adaptive:      repro.AdaptiveConfig{Enable: cfg.Adaptive},
-	})
+	}
+	if cfg.Fault != nil {
+		rc.Fault = cfg.Fault
+	}
+	rt := repro.NewRuntime(rc)
 	setup := rt.RegisterThread()
 	s := &Server{
-		cfg:     cfg,
-		rt:      rt,
-		rec:     latency.NewRecorder(cfg.Workers, cfg.Tenants, int(kvwire.OpCount)),
-		workers: make(chan *worker, cfg.Workers),
-		conns:   make(map[net.Conn]struct{}),
-		started: time.Now(),
+		cfg:      cfg,
+		rt:       rt,
+		setup:    setup,
+		rec:      latency.NewRecorder(cfg.Workers, cfg.Tenants, int(kvwire.OpCount)),
+		workers:  make(chan *worker, cfg.Workers),
+		conns:    make(map[net.Conn]struct{}),
+		started:  time.Now(),
+		shedStop: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Tenants; i++ {
 		s.maps = append(s.maps, repro.NewShardedHashMap(setup, cfg.Shards, cfg.Buckets, 0))
@@ -107,6 +163,9 @@ func NewServer(cfg Config) *Server {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers <- &worker{idx: i, th: rt.RegisterThread()}
+	}
+	if cfg.SLO > 0 {
+		go s.shedController()
 	}
 	return s
 }
@@ -162,10 +221,102 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.stopShedder()
 	if ln != nil {
 		ln.Close()
 	}
+	if s.cfg.Fault != nil {
+		s.cfg.Fault.Release() // a parked handler would hang the Wait
+	}
 	s.wg.Wait()
+}
+
+// Drain is the graceful counterpart of Close (the SIGTERM path): stop
+// accepting, let every in-flight request finish and its response
+// flush, then return with the server quiesced. Open connections are
+// not closed mid-response — each handler is unblocked at its next read
+// (an immediate read deadline) and exits after completing the request
+// it was serving. Parked fault actions are released first, so a chaos
+// plan cannot wedge the drain. After Drain the caller reads the final
+// Stats and Audit and exits.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.stopShedder()
+	if ln != nil {
+		ln.Close()
+	}
+	if s.cfg.Fault != nil {
+		s.cfg.Fault.Release()
+	}
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now()) // unblock the scanner; in-flight work finishes
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) stopShedder() {
+	select {
+	case <-s.shedStop:
+	default:
+		close(s.shedStop)
+	}
+}
+
+// SetupThread exposes the construction thread for post-drain audits:
+// after Drain no worker thread is guaranteed live (a fault plan may
+// have killed some), but the setup thread never runs data-path
+// requests and survives. The audit sweep it performs also helps any
+// descriptor a killed worker left announced to completion.
+func (s *Server) SetupThread() *repro.Thread { return s.setup }
+
+// shedController runs while SLO shedding is enabled: each period it
+// computes the p99 of the samples recorded in that period (a windowed
+// delta, so recovery is observable) and moves the shed level — the
+// count of highest-id tenants answered BUSY — one notch toward the
+// overload verdict. Tenant priority is id order: tenant 0 is shed last.
+func (s *Server) shedController() {
+	tick := time.NewTicker(shedPeriod)
+	defer tick.Stop()
+	prev := s.rec.MergedAll()
+	for {
+		select {
+		case <-s.shedStop:
+			return
+		case <-tick.C:
+		}
+		cur := s.rec.MergedAll()
+		win := cur.Sub(prev)
+		prev = cur
+		level := s.shedLevel.Load()
+		switch {
+		case win.Count >= 16 && time.Duration(win.Percentile(0.99)) > s.cfg.SLO:
+			if int(level) < s.cfg.Tenants-1 {
+				s.shedLevel.Store(level + 1)
+			}
+		case level > 0:
+			// A calm (or idle) window re-admits one tenant.
+			s.shedLevel.Store(level - 1)
+		}
+	}
+}
+
+// shouldShed reports whether the overload controller is currently
+// shedding ops addressed to (or sourced from) tenant tn.
+func (s *Server) shouldShed(tn int) bool {
+	level := int(s.shedLevel.Load())
+	return level > 0 && tn >= s.cfg.Tenants-level
 }
 
 func (s *Server) handle(conn net.Conn, w *worker) {
@@ -174,7 +325,15 @@ func (s *Server) handle(conn net.Conn, w *worker) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		s.workers <- w
+		// A fault-killed handler exits via runtime.Goexit mid-operation:
+		// its Thread may hold announced move state and must never serve
+		// again. Retire it (the pool shrinks by one; peers complete the
+		// operation it was lost in) instead of poisoning the pool.
+		if w.th.MoveInFlight() {
+			s.lostWorkers.Add(1)
+		} else {
+			s.workers <- w
+		}
 		s.wg.Done()
 	}()
 	in := bufio.NewScanner(conn)
@@ -183,14 +342,27 @@ func (s *Server) handle(conn net.Conn, w *worker) {
 		resp := s.exec(w, in.Text())
 		out.WriteString(resp)
 		out.WriteByte('\n')
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		if err := out.Flush(); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.slowClients.Add(1) // shed the client that can't drain
+			}
 			return
+		}
+		if s.draining.Load() {
+			return // graceful drain: this response flushed; stop reading
 		}
 	}
 }
 
 // exec parses and applies one request line, recording the data-path
-// service time against the request's (source) tenant.
+// service time against the request's (source) tenant. Degradation
+// checks run before execution: a shed verdict or a resource-exhaustion
+// failure answers BUSY/TIMEOUT with the operation guaranteed
+// unexecuted.
 func (s *Server) exec(w *worker, line string) string {
 	req, err := kvwire.ParseRequest(line, s.cfg.Tenants)
 	if err != nil {
@@ -199,10 +371,44 @@ func (s *Server) exec(w *worker, line string) string {
 	if req.Op >= kvwire.OpCount {
 		return s.execControl(w, req)
 	}
+	if s.shouldShed(req.Tenant) {
+		s.shed.Add(1)
+		s.busy.Add(1)
+		return "BUSY"
+	}
 	t0 := time.Now()
-	resp := s.apply(w.th, req)
+	resp := s.applyWithRetry(w.th, req, t0)
 	s.rec.Record(w.idx, req.Tenant, int(req.Op), time.Since(t0))
 	return resp
+}
+
+// applyWithRetry runs the request under Thread.Try, absorbing resource
+// exhaustion: without a deadline the first exhaustion answers BUSY;
+// with one, retries with jittered backoff continue until the deadline,
+// then answer TIMEOUT. Both statuses guarantee non-execution — Try
+// unwinds from init-phase code, before the operation publishes
+// anything.
+func (s *Server) applyWithRetry(th *repro.Thread, req kvwire.Request, t0 time.Time) string {
+	var resp string
+	err := th.Try(func() { resp = s.apply(th, req) })
+	if err == nil {
+		return resp
+	}
+	if s.cfg.Deadline <= 0 {
+		s.busy.Add(1)
+		return "BUSY"
+	}
+	jit := backoff.NewJitter(time.Millisecond, 50*time.Millisecond, uint64(t0.UnixNano()))
+	for {
+		if time.Since(t0) >= s.cfg.Deadline {
+			s.timeouts.Add(1)
+			return "TIMEOUT"
+		}
+		jit.Sleep()
+		if err = th.Try(func() { resp = s.apply(th, req) }); err == nil {
+			return resp
+		}
+	}
 }
 
 func (s *Server) apply(th *repro.Thread, req kvwire.Request) string {
@@ -275,7 +481,8 @@ func (s *Server) execControl(w *worker, req kvwire.Request) string {
 
 // Stats merges the per-worker histogram stripes into the kvwire report
 // document: one row per (tenant, op) with traffic, plus per-tenant
-// "all" rows. It is safe to call concurrently with traffic.
+// "all" rows, plus the degradation counters (robust block). It is safe
+// to call concurrently with traffic.
 func (s *Server) Stats() kvwire.Doc {
 	doc := kvwire.NewDoc()
 	wall := float64(time.Since(s.started).Nanoseconds())
@@ -293,6 +500,15 @@ func (s *Server) Stats() kvwire.Doc {
 				strconv.Itoa(tn), "all", s.cfg.Workers, snap, wall))
 		}
 	}
+	doc.Robust = &kvwire.RobustCounters{
+		Busy:        s.busy.Load(),
+		Timeouts:    s.timeouts.Load(),
+		Shed:        s.shed.Load(),
+		ShedLevel:   int(s.shedLevel.Load()),
+		SlowClients: s.slowClients.Load(),
+		LostWorkers: s.lostWorkers.Load(),
+		Drained:     s.draining.Load(),
+	}
 	return doc
 }
 
@@ -301,7 +517,9 @@ func (s *Server) Stats() kvwire.Doc {
 // Composed operations never change any of them. The sweep races
 // in-flight traffic benignly (each read is atomic) but is only an
 // exact conservation witness on a quiesced server — kvload audits
-// after its workers finish.
+// after its workers finish. The sweep's reads also help any descriptor
+// a stalled or killed thread left announced, so a post-fault audit
+// both verifies and completes.
 func (s *Server) Audit(th *repro.Thread) (mapCount, mapSum, queueCount uint64) {
 	for tn := 0; tn < s.cfg.Tenants; tn++ {
 		for _, k := range s.maps[tn].Keys(th) {

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/kvwire"
 	"repro/internal/xrand"
@@ -282,5 +283,141 @@ func TestServerProtocolErrors(t *testing.T) {
 	}
 	if !strings.HasPrefix(cl.roundTrip(t, "STATS", false).Raw, "{") {
 		t.Fatal("STATS did not return JSON")
+	}
+}
+
+// TestServerBusyOnDescriptorExhaustion drives the runtime past its
+// descriptor capacity and asserts the degradation contract: the
+// starved worker answers BUSY (not a crash, not a hung connection),
+// descriptor-free traffic keeps flowing on the same connection, and
+// the robust counters record the rejections.
+func TestServerBusyOnDescriptorExhaustion(t *testing.T) {
+	// DescCapacity equals one per-thread carve batch: the first worker
+	// that allocates a descriptor takes the whole pool and the second
+	// worker's first composed op finds it empty.
+	s := NewServer(Config{Tenants: 2, Workers: 2, Shards: 1, Buckets: 2, DescCapacity: 64})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Close()
+	addr := ln.Addr().String()
+
+	c1 := dial(t, addr)
+	defer c1.conn.Close()
+	// c1's worker carves the full pool (a MOVE allocates its descriptor
+	// before touching the maps, so even a missing-key MOVE carves).
+	if r := c1.roundTrip(t, "MOVE 0 1 99 99", false); r.Status != "FAIL" {
+		t.Fatalf("carving MOVE: got %q, want FAIL", r.Status)
+	}
+
+	c2 := dial(t, addr)
+	defer c2.conn.Close()
+	r := c2.roundTrip(t, "MOVE 0 1 99 99", false)
+	if r.Status != "BUSY" {
+		t.Fatalf("starved worker: got %q, want BUSY", r.Status)
+	}
+	if !r.Retryable() {
+		t.Fatal("BUSY must be retryable")
+	}
+	// The starved worker's connection is still serviceable for
+	// descriptor-free ops …
+	if r := c2.roundTrip(t, "PING", false); !r.OK() {
+		t.Fatalf("PING after BUSY: %+v", r)
+	}
+	if r := c2.roundTrip(t, "GET 0 5", false); r.Status != "NF" {
+		t.Fatalf("GET after BUSY: %+v", r)
+	}
+	// … and the worker holding descriptors is unaffected.
+	if r := c1.roundTrip(t, "PUT 0 5 500", false); !r.OK() {
+		t.Fatalf("healthy worker PUT: %+v", r)
+	}
+	if r := c1.roundTrip(t, "MOVE 0 1 5 5", true); !r.OK() || r.Vals[0] != 500 {
+		t.Fatalf("healthy worker MOVE: %+v", r)
+	}
+
+	var doc kvwire.Doc
+	if err := json.Unmarshal([]byte(c1.roundTrip(t, "STATS", false).Raw), &doc); err != nil {
+		t.Fatalf("STATS: %v", err)
+	}
+	if doc.Robust == nil || doc.Robust.Busy == 0 {
+		t.Fatalf("robust counters missing the BUSY: %+v", doc.Robust)
+	}
+}
+
+// TestServerTimeoutAfterDeadline: with a service deadline configured,
+// persistent exhaustion is retried until the deadline and then
+// answered TIMEOUT — still guaranteed unexecuted.
+func TestServerTimeoutAfterDeadline(t *testing.T) {
+	s := NewServer(Config{Tenants: 2, Workers: 2, Shards: 1, Buckets: 2,
+		DescCapacity: 64, Deadline: 30 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Close()
+	addr := ln.Addr().String()
+
+	c1 := dial(t, addr)
+	defer c1.conn.Close()
+	if r := c1.roundTrip(t, "MOVE 0 1 99 99", false); r.Status != "FAIL" {
+		t.Fatalf("carving MOVE: got %q, want FAIL", r.Status)
+	}
+	c2 := dial(t, addr)
+	defer c2.conn.Close()
+	start := time.Now()
+	r := c2.roundTrip(t, "MOVE 0 1 99 99", false)
+	if r.Status != "TIMEOUT" {
+		t.Fatalf("starved worker with deadline: got %q, want TIMEOUT", r.Status)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("TIMEOUT answered before the deadline elapsed")
+	}
+	if r := c2.roundTrip(t, "PING", false); !r.OK() {
+		t.Fatalf("PING after TIMEOUT: %+v", r)
+	}
+}
+
+// TestServerGracefulDrain exercises the SIGTERM path in-process: after
+// Drain the final STATS report is marked drained, the audit totals
+// (taken on the retained setup thread) match what clients were told,
+// and no new connections are accepted.
+func TestServerGracefulDrain(t *testing.T) {
+	s := NewServer(Config{Tenants: 2, Workers: 2, Shards: 1, Buckets: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	addr := ln.Addr().String()
+
+	cl := dial(t, addr)
+	defer cl.conn.Close()
+	var sum uint64
+	for i := uint64(1); i <= 5; i++ {
+		v := 1000 + i
+		if r := cl.roundTrip(t, fmt.Sprintf("PUT 0 %d %d", i, v), false); !r.OK() {
+			t.Fatalf("PUT %d: %+v", i, r)
+		}
+		sum += v
+	}
+	if r := cl.roundTrip(t, "MOVE 0 1 3 3", true); !r.OK() {
+		t.Fatalf("MOVE: %+v", r)
+	}
+
+	s.Drain()
+
+	doc := s.Stats()
+	if doc.Robust == nil || !doc.Robust.Drained {
+		t.Fatalf("final stats not marked drained: %+v", doc.Robust)
+	}
+	mapN, mapSum, queueN := s.Audit(s.SetupThread())
+	if mapN != 5 || mapSum != sum || queueN != 0 {
+		t.Fatalf("post-drain audit %d/%d/%d, want 5/%d/0", mapN, mapSum, queueN, sum)
+	}
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Fatal("drained server accepted a new connection")
 	}
 }

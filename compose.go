@@ -160,6 +160,28 @@
 // the hazard-pointer slots, memory caches and the move state the paper
 // keeps in thread-local storage.
 //
+// # Robustness: graceful degradation and fault injection
+//
+// The substrate's two fixed-capacity resources — the node arena
+// (Config.ArenaCapacity) and the descriptor pool (Config.DescCapacity)
+// — panic when exhausted, which is the right default for an embedded
+// library but crashes a served system. The Try variants (TryMove,
+// TryMoveN, TryTransferKeys, TryDrainN, and Thread.Try for arbitrary
+// operations) convert those panics into an error matching
+// ErrResourceExhausted and reset the thread so it stays usable; the
+// failed operation did not execute (exhaustion unwinds from init-phase
+// code, before anything is published), so callers may retry after
+// backoff or shed the request. The panicking APIs are unchanged.
+//
+// Config.Fault accepts a FaultInjector — build a FaultPlan with
+// NewFaultPlan or ParseFaultPlan — that stalls, parks, or hard-kills
+// threads at the descriptor protocol's critical windows (after
+// publish, before commit, before recycle, the batch prepare–commit
+// gap, hash-map mid-migration). This is how the paper's core claim —
+// peers help published operations to completion, so a stalled or dead
+// thread never wedges the system — becomes an executable test axis;
+// see docs/robustness.md for the failure model and point catalog.
+//
 // # Finding your way around
 //
 // ARCHITECTURE.md at the repository root maps the internal packages
@@ -175,6 +197,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/elim"
+	"repro/internal/fault"
 	"repro/internal/harrislist"
 	"repro/internal/hashmap"
 	"repro/internal/msqueue"
@@ -345,3 +368,74 @@ func NewMoveBatch(t *Thread) *MoveBatch { return batch.New(t, 0) }
 // NewMoveBatchSize creates a batched move buffer holding up to capacity
 // moves per flush (<= 0 selects the default).
 func NewMoveBatchSize(t *Thread, capacity int) *MoveBatch { return batch.New(t, capacity) }
+
+// ErrResourceExhausted is the sentinel matched (via errors.Is) by the
+// errors the Try variants return when the node arena or the descriptor
+// pool is at capacity. The failed operation did not execute; retry
+// after backoff, shed the request, or configure larger
+// ArenaCapacity/DescCapacity.
+var ErrResourceExhausted = fault.ErrResourceExhausted
+
+// TryMove is Move with resource exhaustion reported as an error
+// (matching ErrResourceExhausted) instead of a panic. On error neither
+// object changed and the thread remains usable.
+func TryMove(t *Thread, src Remover, dst Inserter, skey, tkey uint64) (uint64, bool, error) {
+	return t.TryMove(src, dst, skey, tkey)
+}
+
+// TryMoveN is MoveN with resource exhaustion reported as an error.
+func TryMoveN(t *Thread, src Remover, dsts []Inserter, skey uint64, tkeys []uint64) (uint64, bool, error) {
+	return t.TryMoveN(src, dsts, skey, tkeys)
+}
+
+// TryTransferKeys is TransferKeys with resource exhaustion reported as
+// an error: ok=false with a nil error keeps TransferKeys' data-
+// dependent refusals (absent key, occupied target, chain-dependent
+// keys), while an error matching ErrResourceExhausted means the
+// substrate was out of descriptors or nodes and nothing changed.
+func TryTransferKeys(t *Thread, src, dst *HashMap, skeys, tkeys []uint64) (out []uint64, ok bool, err error) {
+	err = t.Try(func() { out, ok = TransferKeys(t, src, dst, skeys, tkeys) })
+	return out, ok, err
+}
+
+// TryDrainN is DrainN with resource exhaustion reported as an error.
+// The returned slice holds the elements moved before the exhaustion
+// hit — each was its own completed, linearizable move (DrainN is a
+// pipeline, not a transaction), so partial progress is real progress,
+// not a torn operation.
+func TryDrainN(t *Thread, src Remover, dst Inserter, skey, tkey uint64, n int) (out []uint64, err error) {
+	buf := make([]uint64, n)
+	moved := 0
+	err = t.Try(func() { moved = t.DrainN(src, dst, skey, tkey, n, buf) })
+	return buf[:moved], err
+}
+
+// FaultPoint names one of the substrate's fault-injection sites; see
+// the fault package constants (kcas-publish, kcas-commit, kcas-recycle,
+// batch-gap, map-migrate) and docs/robustness.md for the catalog.
+type FaultPoint = fault.Point
+
+// FaultInjector is the hook interface Config.Fault accepts; Fire runs
+// at every injection point a registered thread crosses. Nil disables
+// injection at zero cost beyond a nil check per site.
+type FaultInjector = fault.Injector
+
+// FaultPlan is the concrete FaultInjector: an ordered rule set built
+// with NewFaultPlan (or ParseFaultPlan) binding stall/park/kill actions
+// to injection points under deterministic trigger schedules.
+type FaultPlan = fault.Plan
+
+// FaultTrigger schedules when a FaultPlan rule fires: fault.Nth,
+// fault.Every, fault.Prob (seeded, replayable), with AfterSkip and
+// OnThread refinements.
+type FaultTrigger = fault.Trigger
+
+// NewFaultPlan returns an empty fault plan; chain Stall/Park/Kill rule
+// registrations onto it and set it as Config.Fault.
+func NewFaultPlan() *FaultPlan { return fault.NewPlan() }
+
+// ParseFaultPlan builds a fault plan from spec strings of the form
+// "<point>:<action>[:<mods>]" — e.g. "kcas-commit:stall=2ms:every=97"
+// or "kcas-publish:kill:nth=1500" — the grammar cmd/kvserver's -fault
+// flag uses. See fault.Parse.
+func ParseFaultPlan(specs []string) (*FaultPlan, error) { return fault.Parse(specs) }

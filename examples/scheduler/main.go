@@ -15,10 +15,13 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
+	"repro/internal/backoff"
 	"repro/internal/pqueue"
 )
 
@@ -40,10 +43,25 @@ func main() {
 	// payload so monitors can audit.
 	rng := uint64(42)
 	next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+	// Submission retries with jittered backoff: Insert can fail
+	// transiently (contention in the skeleton phase), which is a
+	// retryable condition, not a crash.
+	jit := backoff.NewJitter(100*time.Microsecond, 10*time.Millisecond, 42)
 	for id := uint64(1); id <= tasks; id++ {
-		if !waiting.Insert(setup, next()%100, id) {
-			panic("submit failed")
+		prio := next() % 100
+		submitted := false
+		for attempt := 0; attempt < 16; attempt++ {
+			if waiting.Insert(setup, prio, id) {
+				submitted = true
+				break
+			}
+			jit.Sleep()
 		}
+		if !submitted {
+			fmt.Fprintf(os.Stderr, "scheduler: task %d not submitted after 16 attempts\n", id)
+			os.Exit(1)
+		}
+		jit.Reset()
 	}
 	fmt.Println("submitted:", waiting.Len(setup), "tasks")
 

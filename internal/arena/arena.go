@@ -12,10 +12,10 @@
 package arena
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/word"
 )
 
@@ -90,14 +90,16 @@ func (a *Arena) Allocated() uint64 { return a.next.Load() }
 func (a *Arena) Limit() uint64 { return a.limit }
 
 // Carve bump-allocates n fresh node indexes and appends them to dst,
-// growing slabs as needed. It panics when the arena is exhausted, which
-// indicates a leak or an undersized configuration — concurrent algorithms
-// cannot meaningfully continue without memory.
+// growing slabs as needed. It panics with *fault.ResourceError when the
+// arena is exhausted — an undersized configuration or a leak. Carve runs
+// strictly before any node is published, so core.Thread.Try can recover
+// the panic into ErrResourceExhausted with shared state intact; callers
+// outside Try keep the historical crash behavior.
 func (a *Arena) Carve(dst []uint64, n int) []uint64 {
 	start := a.next.Add(uint64(n)) - uint64(n)
 	end := start + uint64(n)
 	if end > a.limit {
-		panic(fmt.Sprintf("arena: exhausted (limit %d nodes); configure a larger ArenaCapacity", a.limit))
+		panic(&fault.ResourceError{Resource: "arena: node store", Capacity: a.limit, Hint: "ArenaCapacity"})
 	}
 	a.ensure(end)
 	for idx := start; idx < end; idx++ {

@@ -40,7 +40,10 @@
 // A MoveBuffer belongs to one thread, like the *core.Thread it wraps.
 package batch
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+)
 
 // DefaultCapacity is the buffer capacity selected by New when the
 // caller passes 0. Flushes of this size keep descriptor recycling and
@@ -198,6 +201,11 @@ func (b *MoveBuffer) Flush() []MoveResult {
 			r.FailedPrepare = true
 		}
 	}
+	// Between prepare and commit every pending move has been located but
+	// none has committed — the widest window in which a stalled or killed
+	// flusher holds only revocable state (prepares are observations, not
+	// publications; the AbortBatchFlush defer restores the thread).
+	t.Fault(fault.BatchPrepareCommit)
 	// Commit: each move is its own linearizable operation; descriptors
 	// recycle through the flush path, hazard clears stay deferred.
 	for i := range b.results {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/arena"
 	"repro/internal/elim"
+	"repro/internal/fault"
 	"repro/internal/hazard"
 	"repro/internal/kcas"
 	"repro/internal/mm"
@@ -96,6 +97,13 @@ type Config struct {
 	// Move/MoveN elimination bypass holds regardless of any decision.
 	// Disabled by default.
 	Adaptive adapt.Config
+	// Fault, when non-nil, is fired at the substrate's named injection
+	// points (descriptor publish/commit/recycle, batch prepare–commit
+	// gap, hash-map mid-migration) — see package fault. Nil (the
+	// default) disables injection; each hook site then costs one
+	// nil-interface check. Test- and chaos-harness-only: actions may
+	// stall, park, or terminate the calling goroutine.
+	Fault fault.Injector
 }
 
 // Runtime owns the shared substrate for one family of concurrent
@@ -191,7 +199,9 @@ func (rt *Runtime) RegisterThread() *Thread {
 			KMirrorBase: slotKMirrorBase,
 		}),
 		Rng: xrand.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
+		flt: rt.cfg.Fault,
 	}
+	t.kctx.SetFault(rt.cfg.Fault)
 	return t
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/arena"
 	"repro/internal/backoff"
+	"repro/internal/fault"
 	"repro/internal/kcas"
 	"repro/internal/mm"
 	"repro/internal/word"
@@ -62,6 +63,10 @@ type Thread struct {
 
 	bo        *backoff.Exp
 	boEnabled bool
+
+	// flt mirrors Config.Fault for the injection points that live above
+	// the kcas engine (batch gap, map migration). Nil in production.
+	flt fault.Injector
 }
 
 // chainStep is one operation of a composed chain: exactly one of rem or
@@ -220,6 +225,17 @@ func (t *Thread) Backoff() *backoff.Exp {
 		return t.bo
 	}
 	return nil
+}
+
+// Fault triggers injection point p if the runtime was configured with
+// an injector (Config.Fault); composed pipelines above the kcas engine
+// (internal/batch, internal/hashmap) call it at their own critical
+// windows. The calling goroutine may be stalled, parked, or terminated
+// here.
+func (t *Thread) Fault(p fault.Point) {
+	if t.flt != nil {
+		t.flt.Fire(p, t.id)
+	}
 }
 
 // MoveInFlight reports whether this thread is currently inside a move

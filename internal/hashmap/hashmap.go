@@ -98,6 +98,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/elim"
+	"repro/internal/fault"
 	"repro/internal/harrislist"
 	"repro/internal/pad"
 )
@@ -740,6 +741,11 @@ func (m *Map) drainBucket(t *core.Thread, tab, next *table, i int) {
 		if !ok {
 			return
 		}
+		// Mid-migration window: the table is sealed and this bucket is
+		// partially drained. A migrator stalled or killed here must not
+		// wedge the grow — any other thread (or reader) entering the map
+		// helps the same buckets via helpGrow/stepGrow.
+		t.Fault(fault.MapMidMigration)
 		dst[0] = next.bucket(hash(k), m.shardBits)
 		tkey[0] = k
 		if _, moved := t.MoveN(src, dst, k, tkey); moved {

@@ -1,6 +1,7 @@
 package kcas
 
 import (
+	"repro/internal/fault"
 	"repro/internal/hazard"
 	"repro/internal/word"
 )
@@ -60,6 +61,11 @@ type Ctx struct {
 	flushRet []retiredDesc
 	snap     []uint64
 
+	// flt, when non-nil, is fired at the protocol's critical windows
+	// (publish/commit/recycle). Nil in production: each hook site is one
+	// nil-interface check.
+	flt fault.Injector
+
 	stuck stuckState // diagnostic state for stale-reference detection
 }
 
@@ -75,6 +81,19 @@ func NewCtx(pool *Pool, nodeDom *hazard.Domain, tid int, slots Slots) *Ctx {
 
 // TID returns the thread id this context was created for.
 func (c *Ctx) TID() int { return c.tid }
+
+// SetFault installs the fault injector fired at this context's
+// injection points; nil (the default) disables injection.
+func (c *Ctx) SetFault(inj fault.Injector) { c.flt = inj }
+
+// fire triggers injection point p if an injector is installed. The
+// calling goroutine may be stalled, parked, or terminated here; every
+// hook site sits at a window where peers can complete the operation.
+func (c *Ctx) fire(p fault.Point) {
+	if c.flt != nil {
+		c.flt.Fire(p, c.tid)
+	}
+}
 
 // hasFree reports whether the free ring holds a recyclable slot.
 func (c *Ctx) hasFree() bool { return c.freeHead < len(c.free) }
@@ -150,6 +169,7 @@ func (c *Ctx) AllocK() (*Desc, uint64) {
 // its decision, or Execute was never called). No helper can hold a
 // reference, so it skips the hazard scan.
 func (c *Ctx) FreeDirect(d *Desc, ref uint64) {
+	c.fire(fault.KCASBeforeRecycle)
 	d.self.Store(0)
 	c.pushFree(word.DescIndex(ref))
 }
@@ -159,6 +179,7 @@ func (c *Ctx) FreeDirect(d *Desc, ref uint64) {
 // is first scrubbed from its target words, then parked until a scan
 // proves it unreachable.
 func (c *Ctx) Retire(d *Desc, ref uint64) {
+	c.fire(fault.KCASBeforeRecycle)
 	c.scrub(d, ref)
 	c.retired = append(c.retired, retiredDesc{d: d, ref: ref})
 	if len(c.retired) >= retireScanAt {
@@ -278,6 +299,7 @@ func (c *Ctx) scan() {
 // deferred to EndFlush, which covers the whole flush with one hazard
 // snapshot instead of running a retire cycle per operation.
 func (c *Ctx) RetireFlush(d *Desc, ref uint64) {
+	c.fire(fault.KCASBeforeRecycle)
 	c.scrub(d, ref)
 	c.flushRet = append(c.flushRet, retiredDesc{d: d, ref: ref})
 }

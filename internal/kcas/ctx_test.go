@@ -1,17 +1,21 @@
 package kcas
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/hazard"
 	"repro/internal/word"
 )
 
 // TestDescriptorPoolExhaustionPanics: descriptor capacity is a hard
-// resource; running out must fail loudly — naming the configured
-// capacity so the operator knows which knob to turn — not deadlock.
+// resource; running out must fail loudly — with the typed
+// *fault.ResourceError so Thread.Try can degrade gracefully, and naming
+// the configured capacity so the operator knows which knob to turn —
+// not deadlock.
 func TestDescriptorPoolExhaustionPanics(t *testing.T) {
 	const capacity = carveBatch * 2
 	descDom := hazard.New(1, 3)
@@ -23,12 +27,15 @@ func TestDescriptorPoolExhaustionPanics(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected exhaustion panic")
 		}
-		msg, ok := r.(string)
-		if !ok {
-			t.Fatalf("panic value %v (%T), want string", r, r)
+		re := fault.AsResourceError(r)
+		if re == nil {
+			t.Fatalf("panic value %v (%T), want *fault.ResourceError", r, r)
 		}
-		if !strings.Contains(msg, fmt.Sprintf("capacity %d", capacity)) {
-			t.Fatalf("exhaustion panic must report the configured capacity: %q", msg)
+		if !errors.Is(re, fault.ErrResourceExhausted) {
+			t.Fatal("exhaustion error must match fault.ErrResourceExhausted")
+		}
+		if msg := re.Error(); !strings.Contains(msg, fmt.Sprintf("capacity %d", capacity)) || !strings.Contains(msg, "DescCapacity") {
+			t.Fatalf("exhaustion panic must report the configured capacity and knob: %q", msg)
 		}
 	}()
 	for i := 0; ; i++ {

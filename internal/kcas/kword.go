@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"repro/internal/fault"
 	"repro/internal/word"
 )
 
@@ -102,12 +103,19 @@ func (c *Ctx) run(d *Desc, ref uint64) uint64 {
 				break phase1
 			}
 		}
+		// Acquisition done, decision pending: every target word holds a
+		// reference to this (published) descriptor, so peers reading any
+		// of them will help the operation to its decision and release.
+		c.fire(fault.KCASAfterPublish)
 		d.status.CAS(statusUndecided, desired)
 	}
 
 	// Phase 2: release every word to its new (success) or old (failure)
 	// value. Expected values are the unmarked descriptor reference the
-	// RDCSS promotions installed.
+	// RDCSS promotions installed. A thread lost between the decision and
+	// the releases leaves full references behind; any reader helps them
+	// out via HelpRef (this same function, phase 2 only).
+	c.fire(fault.KCASBeforeCommit)
 	st := d.status.Load()
 	success := st == statusSuccess
 	for i := 0; i < d.N; i++ {

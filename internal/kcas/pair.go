@@ -3,6 +3,7 @@ package kcas
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/word"
 )
 
@@ -55,6 +56,10 @@ func (c *Ctx) dcas(d *Desc, ref uint64, initiator bool) Result {
 		if !e1.Ptr.CAS(e1.Old, ref) { // D10: announce
 			return FirstFailed // D11: never announced; nobody will help
 		}
+		// The descriptor is now published and undecided: from here on any
+		// peer that reads ptr1 helps the operation to completion, so the
+		// initiator may stall or die without blocking the system.
+		c.fire(fault.KCASAfterPublish)
 	}
 
 	mdesc := word.MarkDesc(ref, c.tid) // D13
@@ -100,6 +105,10 @@ func (c *Ctx) dcas(d *Desc, ref uint64, initiator bool) Result {
 		return SecondFailed // D27
 	}
 	// r is a marked descriptor (the witness) or already SUCCESS.
+	// Decision fixed, release CASes pending: a thread lost here leaves
+	// decided-but-unreleased words that any helper (D4/D28–D30 on its own
+	// pass) or the retire-time scrub completes.
+	c.fire(fault.KCASBeforeCommit)
 	e1.Ptr.CAS(word.UnmarkDesc(ref), e1.New) // D28
 	if word.IsDesc(r) {
 		e2.Ptr.CAS(r, e2.New) // D29: only the witness form can succeed here

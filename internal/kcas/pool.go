@@ -1,10 +1,10 @@
 package kcas
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/hazard"
 	"repro/internal/word"
 )
@@ -81,7 +81,10 @@ func (p *Pool) carve(dst []uint64, n int) []uint64 {
 	start := p.next.Add(uint64(n)) - uint64(n)
 	end := start + uint64(n)
 	if end > p.limit {
-		panic(fmt.Sprintf("kcas: descriptor pool exhausted (capacity %d); configure a larger DescCapacity", p.limit))
+		// Typed so core.Thread.Try can recover it into ErrResourceExhausted.
+		// Safe to throw here: carve runs strictly before the descriptor is
+		// filled or announced, so no shared state references the operation.
+		panic(&fault.ResourceError{Resource: "kcas: descriptor pool", Capacity: p.limit, Hint: "DescCapacity"})
 	}
 	p.ensure(end)
 	for i := start; i < end; i++ {

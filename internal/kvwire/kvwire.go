@@ -37,6 +37,25 @@
 // queues — moves and transfers must leave all three unchanged.
 //
 // Error responses are "ERR <message>"; the connection stays usable.
+//
+// # Degradation responses
+//
+// Two statuses carry the server's graceful-degradation contract; both
+// guarantee the operation was NOT executed, so clients may retry
+// without risking duplication:
+//
+//	BUSY    — the server shed the request: substrate resources
+//	          (descriptor pool, arena) were exhausted, or the overload
+//	          controller is shedding this tenant's ops to protect the
+//	          configured SLO. Retry after jittered backoff.
+//	TIMEOUT — the per-request deadline (-deadline) expired before the
+//	          operation could execute. Retry, ideally with a longer
+//	          deadline or lower offered load.
+//
+// A connection-level client timeout is NOT a TIMEOUT response: the
+// request may have executed and the response been lost, so clients must
+// treat it as ambiguous for any operation whose duplication is
+// observable (kvload retries only conservation-neutral ops after one).
 package kvwire
 
 import (
@@ -314,7 +333,9 @@ func parseList(s string) ([]uint64, error) {
 
 // Response is one parsed server response.
 type Response struct {
-	// Status is "OK", "NF", "EXISTS", "FAIL" or "ERR".
+	// Status is "OK", "NF", "EXISTS", "FAIL", "ERR", "BUSY" or
+	// "TIMEOUT". BUSY and TIMEOUT guarantee the operation did not
+	// execute (see the package comment's degradation contract).
 	Status string
 	// Vals are the response's numeric payloads (value of GET/DEL/POP/
 	// MOVE, value list of XFER/DRAIN, the three AUDIT totals).
@@ -325,6 +346,12 @@ type Response struct {
 
 // OK reports whether the request succeeded.
 func (r Response) OK() bool { return r.Status == "OK" }
+
+// Retryable reports whether the response is a degradation status (BUSY
+// or TIMEOUT) under which the server guarantees the operation did not
+// execute — safe to retry for every operation, including
+// non-idempotent ones.
+func (r Response) Retryable() bool { return r.Status == "BUSY" || r.Status == "TIMEOUT" }
 
 // ParseResponse parses one response line (without the newline). values
 // selects whether the OK payload is numeric (data-path responses) or
@@ -343,7 +370,7 @@ func ParseResponse(line string, values bool) (Response, error) {
 				r.Vals = append(r.Vals, vs...)
 			}
 		}
-	case "NF", "EXISTS", "FAIL", "ERR":
+	case "NF", "EXISTS", "FAIL", "ERR", "BUSY", "TIMEOUT":
 	default:
 		return r, fmt.Errorf("unknown response status %q", status)
 	}

@@ -1,6 +1,7 @@
 package kvwire
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -88,5 +89,67 @@ func TestParseResponse(t *testing.T) {
 	}
 	if _, err = ParseResponse("WAT", true); err == nil {
 		t.Fatal("unknown status must error")
+	}
+}
+
+// TestDegradationStatuses: BUSY and TIMEOUT are valid, non-OK,
+// retryable responses — the grammar contract the server's shedding
+// paths and kvload's retry loop both build on.
+func TestDegradationStatuses(t *testing.T) {
+	for _, status := range []string{"BUSY", "TIMEOUT"} {
+		r, err := ParseResponse(status, true)
+		if err != nil {
+			t.Fatalf("ParseResponse(%q): %v", status, err)
+		}
+		if r.OK() {
+			t.Fatalf("%s must not parse as success", status)
+		}
+		if !r.Retryable() {
+			t.Fatalf("%s must be retryable", status)
+		}
+	}
+	for _, status := range []string{"OK 1", "NF", "EXISTS", "FAIL", "ERR nope"} {
+		r, err := ParseResponse(status, true)
+		if err != nil {
+			t.Fatalf("ParseResponse(%q): %v", status, err)
+		}
+		if r.Retryable() {
+			t.Fatalf("%q must not be retryable", status)
+		}
+	}
+}
+
+// TestRobustCountersRoundTrip: the robust block survives a JSON round
+// trip with every field intact, and zero-valued fields stay present in
+// the encoding (chaos assertions grep exact counts; absent must not
+// alias zero).
+func TestRobustCountersRoundTrip(t *testing.T) {
+	doc := NewDoc()
+	doc.Robust = &RobustCounters{
+		Busy: 3, Timeouts: 2, Retries: 7, Ambiguous: 1,
+		Shed: 11, ShedLevel: 2, SlowClients: 1, LostWorkers: 1, Drained: true,
+	}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Doc
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Robust == nil || *back.Robust != *doc.Robust {
+		t.Fatalf("robust block did not round-trip: %+v vs %+v", back.Robust, doc.Robust)
+	}
+	zero, err := json.Marshal(Doc{Robust: &RobustCounters{}})
+	if err != nil {
+		t.Fatalf("marshal zero: %v", err)
+	}
+	for _, field := range []string{`"busy":0`, `"shed":0`, `"lost_workers":0`, `"drained":false`} {
+		if !strings.Contains(string(zero), field) {
+			t.Errorf("zero-valued robust encoding missing %s: %s", field, zero)
+		}
+	}
+	if doc.Audit != nil {
+		t.Fatal("NewDoc must not pre-fill an audit")
 	}
 }

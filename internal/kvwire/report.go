@@ -72,6 +72,46 @@ type Audit struct {
 	GotQueueCount    uint64 `json:"got_queue_count"`
 }
 
+// RobustCounters is the degradation-path accounting both binaries
+// attach to their JSON documents, so a chaos run's overload and fault
+// behavior is machine-checkable alongside the latency rows. kvserver
+// fills the server-side fields in STATS output; kvload fills the
+// client-side fields in its report. Zero-valued fields are still
+// emitted: a chaos assertion greps for exact counts, and "absent"
+// must not alias "zero".
+type RobustCounters struct {
+	// Busy: BUSY responses (kvserver: sent; kvload: received).
+	Busy uint64 `json:"busy"`
+	// Timeouts: kvserver counts TIMEOUT responses sent (per-request
+	// deadline expiries); kvload counts connection-level timeouts it
+	// observed (no response within -timeout).
+	Timeouts uint64 `json:"timeouts"`
+	// Retries is the number of retry attempts kvload issued after BUSY/
+	// TIMEOUT responses or neutral-op connection timeouts.
+	Retries uint64 `json:"retries"`
+	// Ambiguous counts kvload connection timeouts on operations whose
+	// execution state is unknowable (PUT/DEL/PUSH/POP: the request may
+	// have executed and the response been lost) — never retried, and
+	// excluded from the client's conservation expectations.
+	Ambiguous uint64 `json:"ambiguous"`
+	// Shed counts operations the kvserver overload controller rejected
+	// with BUSY to protect the configured SLO.
+	Shed uint64 `json:"shed"`
+	// ShedLevel is the controller's shed level at snapshot time: tenants
+	// with id >= Tenants-ShedLevel are currently being shed (0: none).
+	ShedLevel int `json:"shed_level"`
+	// SlowClients counts connections kvserver dropped because a response
+	// write exceeded the per-connection write timeout.
+	SlowClients uint64 `json:"slow_clients"`
+	// LostWorkers counts worker threads kvserver retired after a fault
+	// action (hard-kill) terminated their goroutine mid-operation; the
+	// server degrades by that much capacity and keeps serving.
+	LostWorkers uint64 `json:"lost_workers"`
+	// Drained marks the final STATS document emitted by the SIGTERM
+	// graceful-drain path.
+	Drained bool `json:"drained"`
+}
+
 // Doc is the top-level JSON document both binaries emit: the
 // composebench -json layout (host_cpus + contended honesty flags, then
 // rows) extended with the load generator's schedule parameters and
@@ -86,8 +126,9 @@ type Doc struct {
 	DurationMS float64 `json:"duration_ms,omitempty"`
 	Conns      int     `json:"conns,omitempty"`
 
-	Audit *Audit `json:"audit,omitempty"`
-	Rows  []Row  `json:"rows"`
+	Audit  *Audit          `json:"audit,omitempty"`
+	Robust *RobustCounters `json:"robust,omitempty"`
+	Rows   []Row           `json:"rows"`
 }
 
 // NewDoc returns a Doc with the host-honesty fields filled the same
