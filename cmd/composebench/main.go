@@ -60,6 +60,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -178,8 +179,16 @@ func main() {
 		batchSizes = flag.String("batchsizes", "1,4,16,64", "batch scenario: comma list of batch sizes (1 = unbatched)")
 		adaptive   = flag.Bool("adaptive", false, "map/ycsb scenarios: enable the adaptive contention-management subsystem")
 		latPcts    = flag.Bool("latency", false, "ycsb scenario: record per-op latency and report per-tenant p50/p99/p999")
+		metrics    = flag.String("metrics", "", "write the aggregate metrics-registry snapshot (Prometheus text) to this file")
+		traceOut   = flag.String("trace", "", "enable descriptor-protocol tracing; write JSONL events to this file (expect measurement skew)")
 	)
 	flag.Parse()
+
+	// Observability artifacts span every trial the run dispatches: each
+	// trial's registry snapshot merges and each tracer drain appends
+	// (see internal/harness TakeObs). Tracing perturbs the measured hot
+	// path, so it is only on when a trace file is requested.
+	harness.Observe = obs.Config{Metrics: *metrics != "", Trace: *traceOut != ""}
 
 	figs, err := parseFigures(*figures)
 	if err != nil {
@@ -278,6 +287,35 @@ func main() {
 		}
 	}
 	out.flush()
+
+	if *metrics != "" || *traceOut != "" {
+		snap, events := harness.TakeObs()
+		if *metrics != "" {
+			f, err := os.Create(*metrics)
+			if err == nil {
+				err = snap.WritePrometheus(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fatal(fmt.Errorf("-metrics: %w", err))
+			}
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = obs.WriteJSONL(f, events)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fatal(fmt.Errorf("-trace: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "composebench: %d trace events written to %s\n", len(events), *traceOut)
+		}
+	}
 }
 
 // scenarioRow derives the JSON record for one map-family cell (the

@@ -88,6 +88,7 @@ func main() {
 		audit    = flag.Bool("audit", true, "run the end-of-run conservation audit")
 		timeout  = flag.Duration("timeout", 0, "per-request connection deadline (0 = none)")
 		retries  = flag.Int("retries", 8, "max retries per request on BUSY/TIMEOUT (with jittered backoff)")
+		metrics  = flag.String("metrics", "", "fetch the server's METRICS snapshot after the run and write the Prometheus text here")
 	)
 	flag.Parse()
 
@@ -132,6 +133,17 @@ func main() {
 			fatal(err)
 		}
 		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *metrics != "" {
+		// Fetched after the measured run and audit so the snapshot covers
+		// every request the report accounts for.
+		text, err := fetchMetrics(*addr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics: %w", err))
+		}
+		if err := os.WriteFile(*metrics, []byte(text), 0o644); err != nil {
 			fatal(err)
 		}
 	}
@@ -241,6 +253,37 @@ type generator struct {
 type conn struct {
 	c  net.Conn
 	in *bufio.Scanner
+}
+
+// fetchMetrics sends the METRICS verb on a fresh connection and reads
+// the multi-line Prometheus response up to its "# EOF" terminator. A
+// registry-disabled server answers a single "ERR ..." line, surfaced as
+// an error.
+func fetchMetrics(addr string) (string, error) {
+	c, err := dialConn(addr)
+	if err != nil {
+		return "", err
+	}
+	defer c.c.Close()
+	if _, err := c.c.Write([]byte("METRICS\n")); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for c.in.Scan() {
+		line := c.in.Text()
+		if b.Len() == 0 && strings.HasPrefix(line, "ERR ") {
+			return "", fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+		if line == "# EOF" {
+			return b.String(), nil
+		}
+	}
+	if err := c.in.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("connection closed before %q terminator", "# EOF")
 }
 
 func dialConn(addr string) (*conn, error) {

@@ -29,11 +29,20 @@
 // a final STATS and AUDIT line, exit 0. -fault installs chaos-test
 // fault rules (stalls, parks, kills at descriptor-protocol windows).
 //
+// Observability (see docs/observability.md): the metrics registry is on
+// by default (-metrics=false disables it) and serves the METRICS wire
+// verb in Prometheus text format; -trace FILE enables the descriptor-
+// protocol tracer and writes the drained events as JSONL on the SIGTERM
+// drain path (inspect with cmd/tracecheck); -statsevery D prints a
+// "STATS <json>" line every D; -pprof ADDR serves net/http/pprof on a
+// side listener.
+//
 // Example:
 //
 //	kvserver -addr :7070 -tenants 4 -workers 16
 //	kvserver -addr 127.0.0.1:7070 -tenants 3 -adaptive
 //	kvserver -deadline 50ms -slo 5ms -fault 'kcas-commit:stall=2ms:every=97'
+//	kvserver -trace /tmp/kv.jsonl -statsevery 5s -pprof 127.0.0.1:6060
 //
 // Drive it with cmd/kvload, or by hand:
 //
@@ -48,6 +57,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof side listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -80,6 +91,12 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "per-request service deadline; exhaustion retries until it, then TIMEOUT (0 = immediate BUSY)")
 		wtimeout = flag.Duration("wtimeout", 0, "per-response write timeout; slow clients are disconnected (0 = none)")
 		slo      = flag.Duration("slo", 0, "p99 service-time SLO; overload sheds lowest-priority tenants (0 = no shedding)")
+
+		metrics    = flag.Bool("metrics", true, "enable the metrics registry and the METRICS wire verb")
+		traceOut   = flag.String("trace", "", "enable descriptor-protocol tracing; write JSONL events to this file at drain")
+		traceBuf   = flag.Int("tracebuf", 0, "per-thread trace ring capacity (0 = default)")
+		statsEvery = flag.Duration("statsevery", 0, "print a 'STATS <json>' line on stdout at this period (0 = off)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address, e.g. 127.0.0.1:6060 (empty = off)")
 	)
 	flag.Var(&faults, "fault", "fault-injection rule (repeatable), e.g. 'kcas-commit:stall=2ms:every=97'")
 	flag.Parse()
@@ -99,7 +116,8 @@ func main() {
 		DescCapacity: *desccap,
 		Elimination:  *elim, Adaptive: *adaptive,
 		Deadline: *deadline, WriteTimeout: *wtimeout, SLO: *slo,
-		Fault: plan,
+		Fault:   plan,
+		Metrics: *metrics, Trace: *traceOut != "", TraceBuf: *traceBuf,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -108,6 +126,25 @@ func main() {
 	}
 	fmt.Printf("kvserver: %d tenants, %d workers, listening on %s\n",
 		*tenants, *workers, ln.Addr())
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank
+			// import; a failed side listener is reported, not fatal.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "kvserver: -pprof:", err)
+			}
+		}()
+	}
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				if blob, err := json.Marshal(s.Stats()); err == nil {
+					fmt.Printf("STATS %s\n", blob)
+				}
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
@@ -137,6 +174,22 @@ func main() {
 		fmt.Printf("STATS %s\n", blob)
 		mapN, mapSum, queueN := s.Audit(s.SetupThread())
 		fmt.Printf("AUDIT %d %d %d\n", mapN, mapSum, queueN)
+		if *traceOut != "" {
+			// Drain the tracer only after the server has quiesced so the
+			// file holds every recorded event in one sorted pass.
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = s.WriteTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kvserver: -trace:", err)
+			} else {
+				fmt.Printf("kvserver: trace written to %s\n", *traceOut)
+			}
+		}
 		fmt.Printf("kvserver: drained in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +59,17 @@ type Config struct {
 	// (chaos testing; see internal/fault). Drain releases any parked
 	// threads before waiting.
 	Fault *repro.FaultPlan
+	// Metrics enables the runtime metrics registry: the METRICS wire
+	// verb serves its snapshot in Prometheus text format, STATS carries
+	// it as the "obs" block, and the server's degradation counters are
+	// registered into it. main defaults it on (-metrics=false to
+	// disable); the zero Config leaves it off.
+	Metrics bool
+	// Trace enables the descriptor-protocol tracer; WriteTrace drains
+	// it as JSONL (main's -trace flag writes it at SIGTERM drain).
+	// TraceBuf sizes the per-thread rings (0 = obs default).
+	Trace    bool
+	TraceBuf int
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +154,7 @@ func NewServer(cfg Config) *Server {
 		DescCapacity:  cfg.DescCapacity,
 		Elimination:   repro.EliminationConfig{Enable: cfg.Elimination},
 		Adaptive:      repro.AdaptiveConfig{Enable: cfg.Adaptive},
+		Obs:           repro.ObsConfig{Metrics: cfg.Metrics, Trace: cfg.Trace, TraceBuf: cfg.TraceBuf},
 	}
 	if cfg.Fault != nil {
 		rc.Fault = cfg.Fault
@@ -163,6 +177,16 @@ func NewServer(cfg Config) *Server {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers <- &worker{idx: i, th: rt.RegisterThread()}
+	}
+	if reg := rt.Obs().Metrics(); reg != nil {
+		// The degradation counters join the registry under the same
+		// names the STATS robust block reports, so METRICS output and
+		// RobustCounters reconcile by construction.
+		reg.AddFunc("busy_total", s.busy.Load)
+		reg.AddFunc("timeouts_total", s.timeouts.Load)
+		reg.AddFunc("shed_total", s.shed.Load)
+		reg.AddFunc("slow_clients_total", s.slowClients.Load)
+		reg.AddFunc("lost_workers_total", s.lostWorkers.Load)
 	}
 	if cfg.SLO > 0 {
 		go s.shedController()
@@ -475,8 +499,37 @@ func (s *Server) execControl(w *worker, req kvwire.Request) string {
 	case kvwire.OpAudit:
 		mapN, mapSum, queueN := s.Audit(w.th)
 		return fmt.Sprintf("OK %d %d %d", mapN, mapSum, queueN)
+	case kvwire.OpMetrics:
+		return s.metricsText()
 	}
 	return "ERR unreachable"
+}
+
+// metricsText renders the registry snapshot in Prometheus text format.
+// It is the protocol's one multi-line response; the "# EOF" terminator
+// (written by WritePrometheus, completed by the handler's newline)
+// frames it for line-reading clients.
+func (s *Server) metricsText() string {
+	reg := s.rt.Obs().Metrics()
+	if reg == nil {
+		return "ERR metrics disabled"
+	}
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		return "ERR " + err.Error()
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// WriteTrace drains the protocol tracer and writes the events as JSONL;
+// a no-op (nil error, no output) when tracing is disabled. main calls
+// it on the SIGTERM drain path after the server has quiesced.
+func (s *Server) WriteTrace(w io.Writer) error {
+	trc := s.rt.Obs().Tracer()
+	if trc == nil {
+		return nil
+	}
+	return repro.WriteTraceJSONL(w, trc.Drain())
 }
 
 // Stats merges the per-worker histogram stripes into the kvwire report
@@ -508,6 +561,11 @@ func (s *Server) Stats() kvwire.Doc {
 		SlowClients: s.slowClients.Load(),
 		LostWorkers: s.lostWorkers.Load(),
 		Drained:     s.draining.Load(),
+	}
+	if reg := s.rt.Obs().Metrics(); reg != nil {
+		// Same names, same registry as the METRICS verb; every known
+		// series present even at zero (like the robust block).
+		doc.Obs = reg.Snapshot().Counters
 	}
 	return doc
 }

@@ -64,6 +64,10 @@ func main() {
 		DescCapacity:  1 << 18,
 		Elimination:   repro.EliminationConfig{Enable: *elim},
 		Adaptive:      repro.AdaptiveConfig{Enable: *adaptive},
+		// The audit lines read the metrics registry, so every counter
+		// they print carries the same series name METRICS and STATS
+		// expose — one naming scheme across all the stat surfaces.
+		Obs: repro.ObsConfig{Metrics: true},
 	})
 	setup := rt.RegisterThread()
 	curPair := *pairName
@@ -115,6 +119,10 @@ func main() {
 			*pairName, *threads, *tokens, *rounds, *ops)
 	}
 
+	// prev windows the registry so each audit line reports per-round
+	// deltas; the registry itself stays cumulative (rotation registers
+	// new containers' counters alongside the frozen retired ones).
+	prev := rt.Obs().Metrics().Snapshot()
 	for round := 1; round <= *rounds; round++ {
 		roundPair := curPair
 		t0 := time.Now()
@@ -199,9 +207,13 @@ func main() {
 				round, roundPair, len(seen), *tokens)
 			os.Exit(1)
 		}
-		// The audit line reports the pair that just ran; capture its
-		// counters before a rotation swaps the containers out.
-		contention := contentionLine(a, b, *elim, *adaptive)
+		// The audit line reports the round that just ran: snapshot the
+		// registry at the quiescent point and print the window since the
+		// previous audit, under the registry's own series names.
+		snap := rt.Obs().Metrics().Snapshot()
+		delta := snap.Sub(prev)
+		prev = snap
+		contention := contentionLine(delta, *elim, *adaptive)
 		// Reinsert for the next round — into the next pair when
 		// rotating: every token is drained (a quiescent state), so
 		// handing the population to freshly built containers is a pure
@@ -219,56 +231,33 @@ func main() {
 			insertToken(tgt, keyed, tok)
 			i++
 		}
-		helps, strays, late := rt.KCASPool().Stats()
-		fmt.Printf("round %2d %-12s ok (%6.2fs)  pair-helps=%d strays=%d late-p2=%d%s\n",
-			round, roundPair, time.Since(t0).Seconds(), helps, strays, late, contention)
+		fmt.Printf("round %2d %-12s ok (%6.2fs)  kcas_helps_total=%d kcas_stray_cleanups_total=%d kcas_late_p2_total=%d%s\n",
+			round, roundPair, time.Since(t0).Seconds(),
+			delta.Get("kcas_helps_total"),
+			delta.Get("kcas_stray_cleanups_total"),
+			delta.Get("kcas_late_p2_total"), contention)
 	}
 	fmt.Println("stress: all rounds passed — conservation intact")
 }
 
-// contentionLine renders the pair's contention-layer counters:
-// accumulated CAS retries (stacks/lists report one counter, the map
-// sums its shards), elimination hits/misses when the layer is on, and
-// the adaptive controllers' decision counts when adaptation is on.
-func contentionLine(a, b repro.MoveReady, elim, adaptive bool) string {
-	type retrier interface{ Retries() uint64 }
-	type contender interface{ ContentionStats() []uint64 }
-	type elimStatser interface{ ElimStats() (uint64, uint64) }
-	type adaptStatser interface{ AdaptStats() repro.AdaptStats }
-
-	var retries uint64
-	for _, c := range []repro.MoveReady{a, b} {
-		switch s := c.(type) {
-		case contender:
-			for _, n := range s.ContentionStats() {
-				retries += n
-			}
-		case retrier:
-			retries += s.Retries()
-		}
-	}
-	out := fmt.Sprintf("  retries=%d", retries)
+// contentionLine renders the round's contention-layer counters out of a
+// registry snapshot window, under the registry's series names — the
+// same names the kvserver METRICS verb and STATS obs block use, so a
+// grep written against one surface works on all of them. The registry
+// already sums every container's contribution (the map's shards, both
+// sides of the pair, retired rotation pairs' frozen counters).
+func contentionLine(d repro.ObsSnapshot, elim, adaptive bool) string {
+	out := fmt.Sprintf("  cas_retries_total=%d", d.Get("cas_retries_total"))
 	if elim || adaptive {
-		var hits, misses uint64
-		for _, c := range []repro.MoveReady{a, b} {
-			if es, ok := c.(elimStatser); ok {
-				h, m := es.ElimStats()
-				hits += h
-				misses += m
-			}
-		}
-		out += fmt.Sprintf(" elim=%d/%d", hits, misses)
+		out += fmt.Sprintf(" elim_hits_total=%d elim_misses_total=%d",
+			d.Get("elim_hits_total"), d.Get("elim_misses_total"))
 	}
 	if adaptive {
-		var st repro.AdaptStats
-		for _, c := range []repro.MoveReady{a, b} {
-			if as, ok := c.(adaptStatser); ok {
-				st.Add(as.AdaptStats())
-			}
-		}
 		out += fmt.Sprintf(" adapt[epochs=%d win=+%d/-%d attach=%d/%d pace=+%d/-%d]",
-			st.Epochs, st.WindowGrows, st.WindowShrinks,
-			st.Attaches, st.Detaches, st.PaceRaises, st.PaceDecays)
+			d.Get("adapt_epochs_total"),
+			d.Get("adapt_window_grows_total"), d.Get("adapt_window_shrinks_total"),
+			d.Get("adapt_attaches_total"), d.Get("adapt_detaches_total"),
+			d.Get("adapt_pace_raises_total"), d.Get("adapt_pace_decays_total"))
 	}
 	return out
 }

@@ -1,0 +1,103 @@
+// Command tracecheck validates and converts descriptor-protocol trace
+// files (the JSONL written by kvserver -trace and composebench -trace;
+// see internal/obs and docs/observability.md).
+//
+// It parses the whole file strictly — any malformed line or unknown
+// event kind fails the run — prints per-kind event counts, and exits
+// nonzero if a -require'd kind is absent, which is how the CI
+// observability smoke asserts that helping actually happened under a
+// fault rule:
+//
+//	tracecheck -require help -require publish /tmp/kvtrace.jsonl
+//
+// -chrome FILE additionally converts the events to the Chrome
+// trace_event format; load the result in chrome://tracing or
+// https://ui.perfetto.dev to see the protocol timeline per thread.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// requireFlags collects repeatable -require event kinds.
+type requireFlags []string
+
+func (f *requireFlags) String() string { return fmt.Sprint(*f) }
+func (f *requireFlags) Set(s string) error {
+	if _, ok := obs.KindFromString(s); !ok {
+		return fmt.Errorf("unknown event kind %q", s)
+	}
+	*f = append(*f, s)
+	return nil
+}
+
+func main() {
+	var require requireFlags
+	chrome := flag.String("chrome", "", "also convert the trace to Chrome trace_event JSON at this path")
+	flag.Var(&require, "require", "event kind that must appear at least once (repeatable): publish, help, commit, abort, recycle, batch-flush, map-migrate")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require kind]... [-chrome out.json] trace.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	events, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", flag.Arg(0), err))
+	}
+
+	counts := make(map[string]int)
+	for _, ev := range events {
+		counts[ev.Kind.String()]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("tracecheck: %s: %d events\n", flag.Arg(0), len(events))
+	for _, k := range kinds {
+		fmt.Printf("  %-12s %d\n", k, counts[k])
+	}
+
+	ok := true
+	for _, k := range require {
+		if counts[k] == 0 {
+			fmt.Fprintf(os.Stderr, "tracecheck: required event kind %q absent\n", k)
+			ok = false
+		}
+	}
+
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		if err == nil {
+			err = repro.WriteChromeTrace(out, events)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fatal(fmt.Errorf("-chrome: %w", err))
+		}
+		fmt.Printf("tracecheck: chrome trace written to %s\n", *chrome)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

@@ -193,6 +193,8 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/adapt"
 	"repro/internal/batch"
 	"repro/internal/core"
@@ -201,6 +203,7 @@ import (
 	"repro/internal/harrislist"
 	"repro/internal/hashmap"
 	"repro/internal/msqueue"
+	"repro/internal/obs"
 	"repro/internal/tstack"
 )
 
@@ -439,3 +442,43 @@ func NewFaultPlan() *FaultPlan { return fault.NewPlan() }
 // or "kcas-publish:kill:nth=1500" — the grammar cmd/kvserver's -fault
 // flag uses. See fault.Parse.
 func ParseFaultPlan(specs []string) (*FaultPlan, error) { return fault.Parse(specs) }
+
+// ObsConfig selects the unified telemetry surfaces (set it as
+// Config.Obs): Metrics enables the striped counter registry the
+// substrate and containers report into, Trace the descriptor-protocol
+// tracer (publish / help / commit / abort / recycle events with
+// helper→victim attribution). The zero value disables both at zero cost
+// beyond a nil check per hook site; see docs/observability.md.
+type ObsConfig = obs.Config
+
+// Obs bundles a runtime's enabled telemetry surfaces; obtain it from
+// Runtime.Obs (nil when ObsConfig disabled both — the Metrics and
+// Tracer accessors stay safe to chain on nil).
+type Obs = obs.Obs
+
+// ObsRegistry is the striped, allocation-free metrics registry: fixed
+// per-thread counters for the hot protocol events plus lazily
+// registered named series, merged into an ObsSnapshot on demand.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is one merged point-in-time view of every metric series a
+// registry knows; WritePrometheus serializes it in Prometheus text
+// format terminated by "# EOF" (what the kvserver METRICS verb emits).
+type ObsSnapshot = obs.Snapshot
+
+// Tracer records descriptor-protocol lifecycle events into fixed
+// per-thread ring buffers; Drain returns the time-sorted events.
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded protocol event: timestamp, kind, recording
+// thread, peer thread (the helped victim on help events) and descriptor
+// reference.
+type TraceEvent = obs.Event
+
+// WriteTraceJSONL serializes drained trace events one JSON object per
+// line — the format cmd/tracecheck validates and converts.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error { return obs.WriteJSONL(w, events) }
+
+// WriteChromeTrace serializes drained trace events in Chrome
+// trace_event format for chrome://tracing or ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error { return obs.WriteChromeTrace(w, events) }

@@ -41,6 +41,8 @@
 package batch
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/fault"
 )
@@ -85,9 +87,12 @@ type MoveBuffer struct {
 	// Move's same-object check on every Add.
 	memo [2]pairMemo
 
-	flushes   uint64
-	moves     uint64
-	fastFails uint64
+	// Lifetime counters. Written only by the owning thread, but atomic
+	// so the metrics registry's snapshot funcs may read them from any
+	// goroutine.
+	flushes   atomic.Uint64
+	moves     atomic.Uint64
+	fastFails atomic.Uint64
 }
 
 // prepPair carries one pending move's optional prepare hooks (nil when
@@ -110,11 +115,19 @@ func New(t *core.Thread, capacity int) *MoveBuffer {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &MoveBuffer{
+	b := &MoveBuffer{
 		t:       t,
 		results: make([]MoveResult, 0, capacity),
 		preps:   make([]prepPair, 0, capacity),
 	}
+	if reg := t.Runtime().Obs().Metrics(); reg != nil {
+		// Every buffer registers under the same names; the registry sums
+		// them, matching what summing the buffers' Stats would report.
+		reg.AddFunc("batch_flushes_total", b.flushes.Load)
+		reg.AddFunc("batch_moves_total", b.moves.Load)
+		reg.AddFunc("batch_fastfails_total", b.fastFails.Load)
+	}
+	return b
 }
 
 // Thread returns the owning thread.
@@ -211,7 +224,7 @@ func (b *MoveBuffer) Flush() []MoveResult {
 	for i := range b.results {
 		r := &b.results[i]
 		if r.FailedPrepare {
-			b.fastFails++
+			b.fastFails.Add(1)
 			continue
 		}
 		r.Val, r.OK = t.MoveUnchecked(r.Src, r.Dst, r.SKey, r.TKey)
@@ -219,8 +232,8 @@ func (b *MoveBuffer) Flush() []MoveResult {
 	t.EndBatchFlush()
 	done = true
 
-	b.flushes++
-	b.moves += uint64(len(b.results))
+	b.flushes.Add(1)
+	b.moves.Add(uint64(len(b.results)))
 	// Hand the filled results to the caller; the next Add cycle starts
 	// over at the front of the same backing array.
 	out := b.results
@@ -232,5 +245,5 @@ func (b *MoveBuffer) Flush() []MoveResult {
 // Stats reports lifetime counters: flushes run, moves flushed, and
 // moves that failed fast in the prepare phase.
 func (b *MoveBuffer) Stats() (flushes, moves, fastFails uint64) {
-	return b.flushes, b.moves, b.fastFails
+	return b.flushes.Load(), b.moves.Load(), b.fastFails.Load()
 }

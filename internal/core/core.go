@@ -22,6 +22,7 @@ import (
 	"repro/internal/hazard"
 	"repro/internal/kcas"
 	"repro/internal/mm"
+	"repro/internal/obs"
 	"repro/internal/word"
 	"repro/internal/xrand"
 )
@@ -104,6 +105,13 @@ type Config struct {
 	// nil-interface check. Test- and chaos-harness-only: actions may
 	// stall, park, or terminate the calling goroutine.
 	Fault fault.Injector
+	// Obs configures the unified telemetry layer (package obs): a
+	// striped metrics registry the substrate and containers report
+	// into, and a descriptor-protocol tracer recording publish / help /
+	// commit / abort / recycle events with helper→victim attribution.
+	// The zero value disables both; every hook site then costs one nil
+	// check and the Move/MoveN hot paths are unchanged.
+	Obs obs.Config
 }
 
 // Runtime owns the shared substrate for one family of concurrent
@@ -117,6 +125,7 @@ type Runtime struct {
 	descDom *hazard.Domain
 	mm      *mm.Manager
 	pool    *kcas.Pool
+	obs     *obs.Obs
 
 	nextTID atomic.Int32
 	objIDs  atomic.Uint64
@@ -139,6 +148,24 @@ func NewRuntime(cfg Config) *Runtime {
 	// (The split engines each carved a full-capacity pool from the same
 	// config field, silently doubling descriptor memory.)
 	rt.pool = kcas.NewPool(cfg.DescCapacity, rt.descDom)
+	rt.obs = obs.New(cfg.Obs, cfg.MaxThreads)
+	if reg := rt.obs.Metrics(); reg != nil {
+		// Pull the substrate's own monotone counters into the registry:
+		// the funcs read exactly the atomics the legacy accessors
+		// (Pool.Stats, Plan.FiredTotal, ...) report, so the two surfaces
+		// cannot drift.
+		pool := rt.pool
+		reg.AddFunc("kcas_stray_cleanups_total", func() uint64 { _, s, _ := pool.Stats(); return s })
+		reg.AddFunc("kcas_late_p2_total", func() uint64 { _, _, l := pool.Stats(); return l })
+		reg.AddFunc("kcas_descs_carved_total", pool.Carved)
+		if trc := rt.obs.Tracer(); trc != nil {
+			reg.AddFunc("trace_dropped_total", trc.Dropped)
+		}
+		if pl, ok := cfg.Fault.(*fault.Plan); ok && pl != nil {
+			reg.AddFunc("fault_fired_total", pl.FiredTotal)
+			reg.AddFunc("fault_kills_total", pl.Kills)
+		}
+	}
 	return rt
 }
 
@@ -155,6 +182,11 @@ func (rt *Runtime) KCASPool() *kcas.Pool { return rt.pool }
 
 // MaxThreads reports the configured registration limit.
 func (rt *Runtime) MaxThreads() int { return rt.cfg.MaxThreads }
+
+// Obs exposes the runtime's telemetry surfaces; nil when Config.Obs
+// disabled both (the nil accessors stay safe to chain, so callers write
+// rt.Obs().Metrics() without guards).
+func (rt *Runtime) Obs() *obs.Obs { return rt.obs }
 
 // Elimination reports the configured elimination-backoff tuning;
 // containers consult it at construction time to decide whether (and how
@@ -173,7 +205,20 @@ func (rt *Runtime) NewController() *adapt.Controller {
 	if !rt.cfg.Adaptive.Enable {
 		return nil
 	}
-	return adapt.New(rt.cfg.Adaptive, rt.cfg.MaxThreads)
+	c := adapt.New(rt.cfg.Adaptive, rt.cfg.MaxThreads)
+	if reg := rt.obs.Metrics(); reg != nil {
+		// Every controller registers under the same names; Snapshot
+		// sums them, mirroring what the containers' AdaptStats
+		// aggregation reports.
+		reg.AddFunc("adapt_epochs_total", func() uint64 { return c.Stats().Epochs })
+		reg.AddFunc("adapt_window_grows_total", func() uint64 { return c.Stats().WindowGrows })
+		reg.AddFunc("adapt_window_shrinks_total", func() uint64 { return c.Stats().WindowShrinks })
+		reg.AddFunc("adapt_attaches_total", func() uint64 { return c.Stats().Attaches })
+		reg.AddFunc("adapt_detaches_total", func() uint64 { return c.Stats().Detaches })
+		reg.AddFunc("adapt_pace_raises_total", func() uint64 { return c.Stats().PaceRaises })
+		reg.AddFunc("adapt_pace_decays_total", func() uint64 { return c.Stats().PaceDecays })
+	}
+	return c
 }
 
 // NextObjectID hands out stable object identities; the blocking baseline
@@ -200,8 +245,11 @@ func (rt *Runtime) RegisterThread() *Thread {
 		}),
 		Rng: xrand.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
 		flt: rt.cfg.Fault,
+		reg: rt.obs.Metrics(),
+		trc: rt.obs.Tracer(),
 	}
 	t.kctx.SetFault(rt.cfg.Fault)
+	t.kctx.SetObs(t.reg, t.trc)
 	return t
 }
 

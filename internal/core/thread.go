@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/kcas"
 	"repro/internal/mm"
+	"repro/internal/obs"
 	"repro/internal/word"
 	"repro/internal/xrand"
 )
@@ -67,6 +68,11 @@ type Thread struct {
 	// flt mirrors Config.Fault for the injection points that live above
 	// the kcas engine (batch gap, map migration). Nil in production.
 	flt fault.Injector
+
+	// reg/trc mirror the runtime's telemetry surfaces (Config.Obs).
+	// Nil when disabled; every hook is then one nil check.
+	reg *obs.Registry
+	trc *obs.Tracer
 }
 
 // chainStep is one operation of a composed chain: exactly one of rem or
@@ -233,6 +239,17 @@ func (t *Thread) Backoff() *backoff.Exp {
 // windows. The calling goroutine may be stalled, parked, or terminated
 // here.
 func (t *Thread) Fault(p fault.Point) {
+	if t.trc != nil {
+		// The layers above kcas trace through the same named points they
+		// inject at; recording before firing means a thread parked or
+		// killed at the point has already left its event.
+		switch p {
+		case fault.BatchPrepareCommit:
+			t.trc.Record(t.id, obs.EvBatchFlush, -1, 0)
+		case fault.MapMidMigration:
+			t.trc.Record(t.id, obs.EvMapMigrate, -1, 0)
+		}
+	}
 	if t.flt != nil {
 		t.flt.Fire(p, t.id)
 	}

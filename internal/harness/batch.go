@@ -112,7 +112,9 @@ func runBatchTrial(o BatchOptions, trial uint64) (adjNS float64, moved, fastFail
 	rt := core.NewRuntime(core.Config{
 		MaxThreads:    o.Threads + 1,
 		ArenaCapacity: arenaCap,
+		Obs:           Observe,
 	})
+	defer harvestObs(rt)
 	setup := rt.RegisterThread()
 	var a, b core.MoveReady
 	switch o.Pair {

@@ -349,7 +349,9 @@ func runTrial(o Options, trial uint64) (adjNS float64, elimHits, elimMisses uint
 			Slots:  o.ElimSlots,
 			Spins:  o.ElimSpins,
 		},
+		Obs: Observe,
 	})
+	defer harvestObs(rt)
 	setup := rt.RegisterThread()
 	objs := build(o, setup)
 	seedRng := xrand.New(o.Seed + trial*1000003)

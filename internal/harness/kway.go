@@ -115,7 +115,9 @@ func runComposedTrial(o ComposedOptions, trial uint64) (ns float64, okCount uint
 	rt := core.NewRuntime(core.Config{
 		MaxThreads:    o.Threads + 1,
 		ArenaCapacity: o.Prefill*8 + (1 << 16),
+		Obs:           Observe,
 	})
+	defer harvestObs(rt)
 	setup := rt.RegisterThread()
 	seed := o.Seed + trial*1000003
 

@@ -302,7 +302,9 @@ func runMapTrial(o MapOptions, trial uint64) mapTrialResult {
 			Enable:   o.Adaptive,
 			EpochOps: o.AdaptEpochOps,
 		},
+		Obs: Observe,
 	})
+	defer harvestObs(rt)
 	setup := rt.RegisterThread()
 	objs := buildMapPair(o, rt, setup)
 	seedRng := xrand.New(o.Seed + trial*1000003)

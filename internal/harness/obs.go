@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Observe is the observability configuration every harness-built
+// runtime inherits. The harness constructs one short-lived runtime per
+// trial, so instead of exposing per-trial registries, each trial's
+// snapshot (and drained trace) is folded into a package-level aggregate
+// that TakeObs returns once the figure has run. composebench sets this
+// from its -metrics/-trace flags before dispatching; the zero value
+// (everything off) keeps the hot paths on their nil no-op branches.
+var Observe obs.Config
+
+var (
+	obsMu     sync.Mutex
+	obsSnap   obs.Snapshot
+	obsEvents []obs.Event
+)
+
+// harvestObs folds one runtime's observability state into the package
+// aggregate. Call it after a trial quiesces (workers joined) and before
+// the runtime is dropped; a disabled runtime contributes nothing.
+// Counters from concurrent trials sum; trace events concatenate and are
+// re-sorted by timestamp at TakeObs.
+func harvestObs(rt *core.Runtime) {
+	o := rt.Obs()
+	if o == nil {
+		return
+	}
+	var snap obs.Snapshot
+	if reg := o.Metrics(); reg != nil {
+		snap = reg.Snapshot()
+	}
+	events := o.Tracer().Drain()
+	obsMu.Lock()
+	obsSnap.Merge(snap)
+	obsEvents = append(obsEvents, events...)
+	obsMu.Unlock()
+}
+
+// TakeObs returns the aggregate snapshot and trace events harvested
+// since the last call, clearing the accumulator. Events are ordered as
+// harvested: sorted within each trial, trials appended in completion
+// order (trials have independent clocks, so a global re-sort would
+// interleave unrelated runs).
+func TakeObs() (obs.Snapshot, []obs.Event) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	snap, events := obsSnap, obsEvents
+	obsSnap, obsEvents = obs.Snapshot{}, nil
+	return snap, events
+}

@@ -224,7 +224,9 @@ func runYCSBTrial(o YCSBOptions, trial uint64, perTenant []TenantOps, rec *laten
 			Enable:   o.Adaptive,
 			EpochOps: o.AdaptEpochOps,
 		},
+		Obs: Observe,
 	})
+	defer harvestObs(rt)
 	setup := rt.RegisterThread()
 	ma := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)
 	mb := hashmap.NewSharded(setup, o.Shards, o.Buckets, o.GrowLoad)

@@ -209,6 +209,32 @@ func NewSharded(t *core.Thread, shards, bucketsPerShard, growLoad int) *Map {
 			m.shards[i].elim = elim.NewArray(ecfg, rt.MaxThreads())
 		}
 	}
+	if reg := rt.Obs().Metrics(); reg != nil {
+		// Registry pulls: map-wide aggregates reading the same atomics
+		// the legacy accessors (ContentionStats, ElimStats, Stats)
+		// report, so the two surfaces cannot drift.
+		reg.AddFunc("cas_retries_total", func() uint64 {
+			var total uint64
+			for _, v := range m.ContentionStats() {
+				total += v
+			}
+			return total
+		})
+		reg.AddFunc("elim_hits_total", func() uint64 { h, _ := m.ElimStats(); return h })
+		reg.AddFunc("elim_misses_total", func() uint64 { _, miss := m.ElimStats(); return miss })
+		reg.AddFunc("elim_timeouts_total", func() uint64 {
+			var total uint64
+			for i := range m.shards {
+				if a := m.shards[i].elim; a != nil {
+					total += a.Timeouts()
+				}
+			}
+			return total
+		})
+		reg.AddFunc("map_grows_total", func() uint64 { g, _, _ := m.Stats(); return g })
+		reg.AddFunc("map_migrated_total", func() uint64 { _, mig, _ := m.Stats(); return mig })
+		reg.AddFunc("map_migrate_steps_total", func() uint64 { _, _, steps := m.Stats(); return steps })
+	}
 	return m
 }
 

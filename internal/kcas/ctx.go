@@ -3,6 +3,7 @@ package kcas
 import (
 	"repro/internal/fault"
 	"repro/internal/hazard"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -66,6 +67,12 @@ type Ctx struct {
 	// nil-interface check.
 	flt fault.Injector
 
+	// reg/trc, when non-nil, receive the protocol's lifecycle counters
+	// and trace events (package obs). Nil (the default) disables
+	// telemetry: each hook site is one nil check.
+	reg *obs.Registry
+	trc *obs.Tracer
+
 	stuck stuckState // diagnostic state for stale-reference detection
 }
 
@@ -85,6 +92,25 @@ func (c *Ctx) TID() int { return c.tid }
 // SetFault installs the fault injector fired at this context's
 // injection points; nil (the default) disables injection.
 func (c *Ctx) SetFault(inj fault.Injector) { c.flt = inj }
+
+// SetObs installs the telemetry sinks for this context's protocol
+// events; nils (the default) disable them.
+func (c *Ctx) SetObs(reg *obs.Registry, trc *obs.Tracer) {
+	c.reg = reg
+	c.trc = trc
+}
+
+// obsEvent pushes one lifecycle counter increment and trace event. The
+// counter and the event kind are paired one-to-one so METRICS totals and
+// drained traces describe the same protocol history.
+func (c *Ctx) obsEvent(ctr obs.Counter, k obs.EventKind, peer int32, ref uint64) {
+	if c.reg != nil {
+		c.reg.Inc(c.tid, ctr)
+	}
+	if c.trc != nil {
+		c.trc.Record(c.tid, k, peer, ref)
+	}
+}
 
 // fire triggers injection point p if an injector is installed. The
 // calling goroutine may be stalled, parked, or terminated here; every
@@ -138,6 +164,7 @@ func (c *Ctx) alloc(kind uint64) (*Desc, uint64) {
 	d := c.pool.At(idx)
 	d.seq++
 	ref := word.MakeDesc(kind, idx, d.seq)
+	d.owner.Store(int32(c.tid))
 	d.status.Store(statusUndecided)
 	d.self.Store(ref)
 	return d, ref
@@ -169,6 +196,7 @@ func (c *Ctx) AllocK() (*Desc, uint64) {
 // its decision, or Execute was never called). No helper can hold a
 // reference, so it skips the hazard scan.
 func (c *Ctx) FreeDirect(d *Desc, ref uint64) {
+	c.obsEvent(obs.KCASRecycle, obs.EvRecycle, -1, ref)
 	c.fire(fault.KCASBeforeRecycle)
 	d.self.Store(0)
 	c.pushFree(word.DescIndex(ref))
@@ -179,6 +207,7 @@ func (c *Ctx) FreeDirect(d *Desc, ref uint64) {
 // is first scrubbed from its target words, then parked until a scan
 // proves it unreachable.
 func (c *Ctx) Retire(d *Desc, ref uint64) {
+	c.obsEvent(obs.KCASRecycle, obs.EvRecycle, -1, ref)
 	c.fire(fault.KCASBeforeRecycle)
 	c.scrub(d, ref)
 	c.retired = append(c.retired, retiredDesc{d: d, ref: ref})
@@ -299,6 +328,7 @@ func (c *Ctx) scan() {
 // deferred to EndFlush, which covers the whole flush with one hazard
 // snapshot instead of running a retire cycle per operation.
 func (c *Ctx) RetireFlush(d *Desc, ref uint64) {
+	c.obsEvent(obs.KCASRecycle, obs.EvRecycle, -1, ref)
 	c.fire(fault.KCASBeforeRecycle)
 	c.scrub(d, ref)
 	c.flushRet = append(c.flushRet, retiredDesc{d: d, ref: ref})

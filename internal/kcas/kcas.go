@@ -128,7 +128,17 @@ type Desc struct {
 	// the thread that carved them and never migrate, so seq needs no
 	// atomicity.
 	seq uint64
+
+	// owner is the initiating thread's id, stamped at alloc. Helpers
+	// read it (after validating self) to attribute help events to
+	// their victim; atomic because a stale helper's read may race the
+	// slot's next incarnation being stamped.
+	owner atomic.Int32
 }
+
+// Owner reports the thread id that allocated this descriptor
+// incarnation — the victim of any help event on it.
+func (d *Desc) Owner() int32 { return d.owner.Load() }
 
 // Decided reports whether the descriptor's operation has completed: an
 // undecided status is exactly "never announced" on both paths (the pair

@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -56,10 +57,18 @@ func (c *Ctx) Execute(d *Desc, ref uint64) (bool, int) {
 			ord[j], ord[j-1] = ord[j-1], ord[j]
 		}
 	}
+	// Telemetry: the general path counts every Execute as a publish
+	// (phase 1 installs begin immediately) and the initiator records the
+	// outcome, so (quiesced) publishes == commits + aborts here too.
+	// run()'s own fault hook fires for helpers as well, so the counters
+	// live here, on the initiator-only path.
+	c.obsEvent(obs.KCASPublish, obs.EvPublish, -1, ref)
 	st := c.run(d, ref)
 	if st == statusSuccess {
+		c.obsEvent(obs.KCASCommit, obs.EvCommit, -1, ref)
 		return true, -1
 	}
+	c.obsEvent(obs.KCASAbort, obs.EvAbort, -1, ref)
 	return false, failedIndex(st)
 }
 
@@ -205,6 +214,8 @@ func (c *Ctx) HelpRef(w *word.Word, v uint64) {
 		c.nodeDom.Protect(c.tid, c.slots.KMirrorBase+i, d.Entries[i].HP)
 	}
 	c.pool.khelps.Add(1)
+	// Help-enter attribution: helper = this thread, victim = initiator.
+	c.obsEvent(obs.KCASHelp, obs.EvHelp, d.owner.Load(), mref)
 	c.run(d, mref)
 	for i := 0; i < MaxEntries; i++ {
 		c.nodeDom.Clear(c.tid, c.slots.KMirrorBase+i)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -16,7 +17,17 @@ import (
 // when the result is FirstFailed (the descriptor was never announced),
 // Retire otherwise.
 func (c *Ctx) ExecutePair(d *Desc, ref uint64) Result {
-	return c.dcas(d, ref, true)
+	r := c.dcas(d, ref, true)
+	// Telemetry: the initiator records the announced operation's
+	// outcome, so (quiesced) publishes == commits + aborts. FirstFailed
+	// was never announced and counts as neither.
+	switch r {
+	case Success:
+		c.obsEvent(obs.KCASCommit, obs.EvCommit, -1, ref)
+	case SecondFailed:
+		c.obsEvent(obs.KCASAbort, obs.EvAbort, -1, ref)
+	}
+	return r
 }
 
 // dcas is Algorithm 4. The paper writes cas(addr, new, old); every CAS
@@ -58,7 +69,11 @@ func (c *Ctx) dcas(d *Desc, ref uint64, initiator bool) Result {
 		}
 		// The descriptor is now published and undecided: from here on any
 		// peer that reads ptr1 helps the operation to completion, so the
-		// initiator may stall or die without blocking the system.
+		// initiator may stall or die without blocking the system. The
+		// publish event is recorded before the fault hook so a thread
+		// parked or killed here has already left its announcement in the
+		// trace.
+		c.obsEvent(obs.KCASPublish, obs.EvPublish, -1, ref)
 		c.fire(fault.KCASAfterPublish)
 	}
 
@@ -145,6 +160,9 @@ func (c *Ctx) HelpPairRef(w *word.Word, v uint64) {
 		return
 	}
 	c.pool.helps.Add(1)
+	// Help-enter attribution: this thread (helper) is completing the
+	// operation announced by d.Owner() (victim).
+	c.obsEvent(obs.KCASHelp, obs.EvHelp, d.owner.Load(), word.UnmarkDesc(v))
 	c.dcas(d, v, false) // D37: help
 	c.nodeDom.Clear(c.tid, c.slots.PairMirror1)
 	c.nodeDom.Clear(c.tid, c.slots.PairMirror2)

@@ -22,6 +22,14 @@
 //	STATS                                  → OK <one-line JSON>
 //	AUDIT                                  → OK <mapN> <mapSum> <queueN>
 //	PING                                   → OK
+//	METRICS                                → Prometheus text, multi-line,
+//	                                         terminated by a "# EOF" line
+//
+// METRICS is the one multi-line response in the protocol: the server
+// streams the metrics registry's snapshot in Prometheus text exposition
+// format and the OpenMetrics "# EOF" terminator frames it, so clients
+// read lines until "# EOF" (or a leading "ERR " line when the registry
+// is disabled).
 //
 // GET/PUT/DEL address a tenant's map; PUSH/POP its queue. The three
 // composed operations are the product feature: MOVE atomically
@@ -85,12 +93,13 @@ const (
 	OpStats
 	OpAudit
 	OpPing
+	OpMetrics
 )
 
 var opNames = map[Op]string{
 	OpGet: "GET", OpPut: "PUT", OpDel: "DEL", OpPush: "PUSH", OpPop: "POP",
 	OpMove: "MOVE", OpXfer: "XFER", OpDrain: "DRAIN",
-	OpStats: "STATS", OpAudit: "AUDIT", OpPing: "PING",
+	OpStats: "STATS", OpAudit: "AUDIT", OpPing: "PING", OpMetrics: "METRICS",
 }
 
 // String returns the protocol verb.
@@ -144,7 +153,7 @@ func (r Request) Append(dst []byte) []byte {
 		dst = appendList(dst, r.TKeys)
 	case OpDrain:
 		dst = appendInts(dst, r.Tenant, r.DTenant, uint64(r.N))
-	case OpStats, OpAudit, OpPing:
+	case OpStats, OpAudit, OpPing, OpMetrics:
 		// verb only
 	}
 	return append(dst, '\n')
@@ -267,8 +276,8 @@ func ParseRequest(line string, tenants int) (Request, error) {
 			return r, fmt.Errorf("bad DRAIN count %q", f[3])
 		}
 		r.N = n
-	case "STATS", "AUDIT", "PING":
-		r.Op = map[string]Op{"STATS": OpStats, "AUDIT": OpAudit, "PING": OpPing}[f[0]]
+	case "STATS", "AUDIT", "PING", "METRICS":
+		r.Op = map[string]Op{"STATS": OpStats, "AUDIT": OpAudit, "PING": OpPing, "METRICS": OpMetrics}[f[0]]
 		if len(f) != 1 {
 			return r, fmt.Errorf("%s takes no arguments", f[0])
 		}

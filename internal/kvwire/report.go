@@ -128,7 +128,19 @@ type Doc struct {
 
 	Audit  *Audit          `json:"audit,omitempty"`
 	Robust *RobustCounters `json:"robust,omitempty"`
-	Rows   []Row           `json:"rows"`
+
+	// Obs is the metrics-registry snapshot (series name → value) taken
+	// when the document was built — the same names, from the same
+	// registry, that the METRICS verb and cmd/stress report, documented
+	// in docs/observability.md. Like RobustCounters it is kept
+	// non-omitempty per series: when the map is present every known
+	// series appears even at zero, because "absent" must not alias
+	// "zero" for grep-style assertions. Nil only when the registry is
+	// disabled (kvserver -metrics=false) or the emitter has none
+	// (kvload reports).
+	Obs map[string]uint64 `json:"obs,omitempty"`
+
+	Rows []Row `json:"rows"`
 }
 
 // NewDoc returns a Doc with the host-honesty fields filled the same

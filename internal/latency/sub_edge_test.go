@@ -1,0 +1,107 @@
+package latency
+
+import "testing"
+
+// Edge cases of the windowed-delta arithmetic the overload controller
+// depends on: an empty window must read as "no signal" (not a stale or
+// poisoned percentile), a single-bucket window must report that bucket
+// at every quantile, and regressed counters — a prev that is not an
+// ancestor of s, as after a recorder swap — must clamp per bucket
+// rather than wrap to huge uint64 counts.
+
+func TestSubEmptyWindow(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 500; i++ {
+		h.RecordNS(1_000_000)
+	}
+	snap := h.Snapshot()
+	win := snap.Sub(snap) // no samples in the interval
+	if win.Count != 0 {
+		t.Fatalf("empty window Count = %d, want 0", win.Count)
+	}
+	if win.MeanNS() != 0 {
+		t.Fatalf("empty window mean = %v, want 0", win.MeanNS())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if p := win.Percentile(q); p != 0 {
+			t.Fatalf("empty window p%v = %d, want 0 (no-signal sentinel)", q, p)
+		}
+	}
+	// Both sides empty: the degenerate base case.
+	zero := Snapshot{}.Sub(Snapshot{})
+	if zero.Count != 0 || zero.Percentile(0.99) != 0 {
+		t.Fatalf("zero Sub zero = %+v, want empty", zero)
+	}
+}
+
+func TestSubSingleBucketWindow(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 100; i++ {
+		h.RecordNS(100) // fast era
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.RecordNS(1_000_000) // slow era: one bucket's worth
+	}
+	win := h.Snapshot().Sub(prev)
+	if win.Count != 50 {
+		t.Fatalf("window Count = %d, want 50", win.Count)
+	}
+	// Every sample in the window landed in one bucket, so every
+	// quantile must report that bucket's representative value.
+	p0, p50, p999 := win.Percentile(0), win.Percentile(0.5), win.Percentile(0.999)
+	if p0 != p50 || p50 != p999 {
+		t.Fatalf("single-bucket window quantiles differ: p0=%d p50=%d p999=%d", p0, p50, p999)
+	}
+	if p50 < 500_000 || p50 > 2_000_000 {
+		t.Fatalf("single-bucket window p50 = %d, want ~1ms", p50)
+	}
+}
+
+func TestSubRegressedCountersClamp(t *testing.T) {
+	// prev has strictly more in one bucket than s (a regression: s is
+	// from a fresh histogram, prev from an older, fuller one). Per-
+	// bucket clamping must zero that bucket, not wrap it.
+	older := NewHist()
+	for i := 0; i < 15; i++ {
+		older.RecordNS(100)
+	}
+	fresh := NewHist()
+	for i := 0; i < 10; i++ {
+		fresh.RecordNS(100)
+	}
+	for i := 0; i < 10; i++ {
+		fresh.RecordNS(1_000_000)
+	}
+	win := fresh.Snapshot().Sub(older.Snapshot())
+	// The 100ns bucket regressed (10 < 15) and must clamp to zero;
+	// the 1ms bucket is untouched by prev and survives.
+	if p50 := win.Percentile(0.5); p50 < 500_000 {
+		t.Fatalf("regressed bucket leaked into the window: p50 = %d", p50)
+	}
+	if win.MaxNS != fresh.Snapshot().MaxNS {
+		t.Fatalf("Sub must carry MaxNS from s (maxima are not invertible): got %d", win.MaxNS)
+	}
+	// Sums and counts clamp at the aggregate level too.
+	if win.Count > 20 {
+		t.Fatalf("window Count wrapped: %d", win.Count)
+	}
+}
+
+func TestSubPrevWithoutBuckets(t *testing.T) {
+	// A prev that carries totals but no bucket array (e.g. a zero-value
+	// snapshot merged from nothing) must subtract totals yet leave s's
+	// buckets intact.
+	h := NewHist()
+	for i := 0; i < 10; i++ {
+		h.RecordNS(1000)
+	}
+	prev := Snapshot{Count: 4, SumNS: 4000}
+	win := h.Snapshot().Sub(prev)
+	if win.Count != 6 {
+		t.Fatalf("Count = %d, want 6", win.Count)
+	}
+	if win.Percentile(0.5) == 0 {
+		t.Fatal("bucket counts lost when prev had no bucket array")
+	}
+}

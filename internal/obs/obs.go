@@ -1,0 +1,91 @@
+// Package obs is the repository's unified telemetry layer: one striped,
+// allocation-free metrics registry and one per-thread ring-buffer tracer
+// for the descriptor protocol's lifecycle events.
+//
+// The paper's core claims — helping makes composed moves lock-free, and
+// contention management keeps the fast path fast — are only checkable if
+// who-helped-whom, abort rates and retry amplification are visible at
+// runtime. Before this package those signals were scattered over
+// per-container stat methods (ElimStats, AdaptStats, ContentionStats),
+// the kcas pool counters, fault.Plan counters and the kvserver
+// degradation atomics. obs absorbs them behind one Snapshot:
+//
+//   - Hot protocol events (publish, help, commit, abort, recycle) are
+//     *pushed*: each registered thread owns a cache-line-padded stripe of
+//     fixed counters, incremented without allocation or sharing, merged
+//     only at snapshot time.
+//
+//   - Everything that already has a cheap monotone counter somewhere
+//     (elimination hits, adapt decisions, pool stray cleanups, fault
+//     firings, server degradation counts) is *pulled*: the owning layer
+//     registers a named func at construction and Snapshot sums every
+//     func registered under the same name. Because the funcs read the
+//     same atomics the legacy stat methods report, the registry cannot
+//     drift from them.
+//
+// The tracer records the same protocol windows internal/fault
+// instruments, with helper/victim thread attribution on help events, to
+// fixed-size per-thread rings. Disabled (the default), every hook is a
+// nil check; enabled, Record is mutex-per-ring but allocation-free.
+// Drained events serialize to JSONL (one event per line) and to Chrome
+// trace_event JSON for timeline viewing — see docs/observability.md.
+package obs
+
+// Config selects which telemetry surfaces a runtime carries. The zero
+// value disables everything: hook sites then cost one nil check each and
+// the Move/MoveN hot paths are unchanged (see BenchmarkObsDisabled).
+type Config struct {
+	// Metrics enables the striped counter registry.
+	Metrics bool
+	// Trace enables the descriptor-protocol tracer.
+	Trace bool
+	// TraceBuf is the per-thread ring capacity in events, rounded up to
+	// a power of two; oldest events are overwritten on overflow (the
+	// drop count is exported as trace_dropped_total). 0 selects 4096.
+	TraceBuf int
+}
+
+// Enabled reports whether any surface is on.
+func (c Config) Enabled() bool { return c.Metrics || c.Trace }
+
+// Obs bundles the enabled surfaces of one runtime. A nil *Obs (the
+// disabled state) is valid: every accessor returns nil and the nil
+// Registry/Tracer methods are no-ops, so call sites need no guards.
+type Obs struct {
+	metrics *Registry
+	tracer  *Tracer
+}
+
+// New builds the telemetry surfaces cfg selects, sized for maxThreads
+// registered threads. It returns nil when cfg disables everything.
+func New(cfg Config, maxThreads int) *Obs {
+	if !cfg.Enabled() {
+		return nil
+	}
+	o := &Obs{}
+	if cfg.Metrics {
+		o.metrics = NewRegistry(maxThreads)
+	}
+	if cfg.Trace {
+		o.tracer = NewTracer(maxThreads, cfg.TraceBuf)
+	}
+	return o
+}
+
+// Metrics returns the counter registry, or nil when metrics are off
+// (including on a nil receiver).
+func (o *Obs) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.metrics
+}
+
+// Tracer returns the protocol tracer, or nil when tracing is off
+// (including on a nil receiver).
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pad"
+)
+
+// EventKind names one descriptor-protocol lifecycle event. The set
+// mirrors the windows internal/fault instruments, plus the composed
+// layers' own windows (batch flush, map migration), so a trace lines up
+// one-to-one with where chaos rules can fire.
+type EventKind uint8
+
+// The event taxonomy (see docs/observability.md).
+const (
+	// EvPublish: the initiating thread announced a descriptor (pair
+	// line D10, or general Execute entry). Ref is the descriptor
+	// reference.
+	EvPublish EventKind = iota
+	// EvHelp: a peer thread entered the helping protocol for another
+	// thread's announced descriptor. TID is the helper, Peer the
+	// victim (the initiating thread whose operation is being helped).
+	EvHelp
+	// EvCommit: the initiating thread's operation decided SUCCESS.
+	EvCommit
+	// EvAbort: the initiating thread's announced operation decided
+	// failure (pair SECONDFAILED or a general entry mismatch).
+	EvAbort
+	// EvRecycle: a descriptor slot was handed back for reuse.
+	EvRecycle
+	// EvBatchFlush: a batched-move buffer crossed its prepare→commit
+	// gap.
+	EvBatchFlush
+	// EvMapMigrate: a map shard migration step ran mid-grow.
+	EvMapMigrate
+
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	EvPublish:    "publish",
+	EvHelp:       "help",
+	EvCommit:     "commit",
+	EvAbort:      "abort",
+	EvRecycle:    "recycle",
+	EvBatchFlush: "batch-flush",
+	EvMapMigrate: "map-migrate",
+}
+
+// String returns the kind's wire name (used in JSONL and Chrome traces).
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString resolves a wire name back to its EventKind.
+func KindFromString(s string) (EventKind, bool) {
+	for k, n := range eventNames {
+		if n == s {
+			return EventKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	// TS is nanoseconds since the tracer was created.
+	TS int64
+	// Kind is the event taxonomy entry.
+	Kind EventKind
+	// TID is the recording thread.
+	TID int32
+	// Peer is the victim thread on EvHelp (the initiator being
+	// helped); -1 when not applicable.
+	Peer int32
+	// Ref is the descriptor reference involved, 0 when not applicable.
+	Ref uint64
+}
+
+// ring is one thread's event buffer. The mutex makes Record/Drain safe
+// under the race detector; it is per-thread and therefore uncontended
+// except against a drain, so the enabled-path cost stays a few tens of
+// nanoseconds and zero allocations.
+type ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	n     uint64 // events ever recorded into this ring
+	drops uint64 // events overwritten before a drain observed them
+	_     pad.Line
+}
+
+// Tracer records protocol events into fixed per-thread rings. A nil
+// *Tracer is the disabled state: Record is a nil check and nothing else.
+type Tracer struct {
+	start time.Time
+	rings []ring
+}
+
+// DefaultTraceBuf is the per-thread ring capacity when Config.TraceBuf
+// is zero.
+const DefaultTraceBuf = 4096
+
+// NewTracer builds a tracer with one ring of perThread events (rounded
+// up to a power of two; <=0 selects DefaultTraceBuf) for each of
+// maxThreads threads.
+func NewTracer(maxThreads, perThread int) *Tracer {
+	if maxThreads <= 0 {
+		maxThreads = 1
+	}
+	if perThread <= 0 {
+		perThread = DefaultTraceBuf
+	}
+	perThread = pad.CeilPow2(perThread)
+	t := &Tracer{start: time.Now(), rings: make([]ring, maxThreads)}
+	for i := range t.rings {
+		t.rings[i].buf = make([]Event, perThread)
+	}
+	return t
+}
+
+// Record appends one event to thread tid's ring, overwriting the oldest
+// on overflow. Allocation-free; a nil receiver is a no-op.
+func (t *Tracer) Record(tid int, k EventKind, peer int32, ref uint64) {
+	if t == nil {
+		return
+	}
+	ts := time.Since(t.start).Nanoseconds()
+	r := &t.rings[tid]
+	r.mu.Lock()
+	r.buf[int(r.n)&(len(r.buf)-1)] = Event{TS: ts, Kind: k, TID: int32(tid), Peer: peer, Ref: ref}
+	r.n++
+	r.mu.Unlock()
+}
+
+// Drain removes and returns every buffered event, merged across threads
+// and sorted by timestamp. Events recorded after the drain started may
+// land in the next drain.
+func (t *Tracer) Drain() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.rings {
+		r := &t.rings[i]
+		r.mu.Lock()
+		kept := r.n
+		if kept > uint64(len(r.buf)) {
+			r.drops += kept - uint64(len(r.buf))
+			kept = uint64(len(r.buf))
+		}
+		for j := uint64(0); j < kept; j++ {
+			out = append(out, r.buf[(r.n-kept+j)&uint64(len(r.buf)-1)])
+		}
+		r.n = 0
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Dropped reports how many events were overwritten before any drain saw
+// them (exported as trace_dropped_total when metrics are also on).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	var total uint64
+	for i := range t.rings {
+		r := &t.rings[i]
+		r.mu.Lock()
+		total += r.drops
+		if r.n > uint64(len(r.buf)) {
+			total += r.n - uint64(len(r.buf))
+		}
+		r.mu.Unlock()
+	}
+	return total
+}
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	TSNS int64  `json:"ts_ns"`
+	Ev   string `json:"ev"`
+	TID  int32  `json:"tid"`
+	Peer int32  `json:"peer"`
+	Ref  uint64 `json:"ref"`
+}
+
+// WriteJSONL serializes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, `{"ts_ns":%d,"ev":%q,"tid":%d,"peer":%d,"ref":%d}`+"\n",
+			e.TS, e.Kind.String(), e.TID, e.Peer, e.Ref); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace back into events, validating each line
+// (cmd/tracecheck and the CI smoke job use it).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		k, ok := KindFromString(je.Ev)
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown event kind %q", line, je.Ev)
+		}
+		out = append(out, Event{TS: je.TSNS, Kind: k, TID: je.TID, Peer: je.Peer, Ref: je.Ref})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteChromeTrace serializes events in Chrome trace_event format
+// (instant events, thread id = registered thread id): load the file in
+// chrome://tracing or ui.perfetto.dev for a timeline view.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, e := range events {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		// ts is microseconds (Chrome's unit), kept fractional so
+		// nanosecond-close events keep their order.
+		if _, err := fmt.Fprintf(bw,
+			`%s{"name":%q,"ph":"i","s":"t","pid":0,"tid":%d,"ts":%d.%03d,"args":{"peer":%d,"ref":%d}}`,
+			sep, e.Kind.String(), e.TID, e.TS/1000, e.TS%1000, e.Peer, e.Ref); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -82,6 +82,17 @@ func newStack(t *core.Thread, versioned bool) *Stack {
 	} else if ecfg.Enable {
 		s.elim = elim.NewArray(ecfg, rt.MaxThreads())
 	}
+	if reg := rt.Obs().Metrics(); reg != nil {
+		// Registry pulls: the funcs read the same atomics the legacy
+		// accessors (Retries, ElimStats, Timeouts) report, summed across
+		// every container registered under the name.
+		reg.AddFunc("cas_retries_total", s.Retries)
+		if a := s.elim; a != nil {
+			reg.AddFunc("elim_hits_total", func() uint64 { h, _ := a.Stats(); return h })
+			reg.AddFunc("elim_misses_total", func() uint64 { _, m := a.Stats(); return m })
+			reg.AddFunc("elim_timeouts_total", a.Timeouts)
+		}
+	}
 	return s
 }
 
