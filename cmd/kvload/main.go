@@ -41,7 +41,12 @@
 // Human-readable percentile tables on stdout; -json FILE additionally
 // writes the composebench-style document (host_cpus/contended honesty
 // fields, one row per tenant×op with p50/p99/p999/max ns, per-tenant
-// and overall rollups, audit verdict).
+// and overall rollups, audit verdict). -slow N fetches the server-side
+// view after the run: the per-stage latency breakdown (queue/parse/
+// execute/degrade/write, echoed into the report's "stages" block) and
+// the N slowest requests' spans from the SLOW verb, each tagged with
+// its dominant stage — the server's answer to why the client-side tail
+// is fat.
 //
 // Example, against a default server:
 //
@@ -68,6 +73,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/kvwire"
 	"repro/internal/latency"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -89,6 +95,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request connection deadline (0 = none)")
 		retries  = flag.Int("retries", 8, "max retries per request on BUSY/TIMEOUT (with jittered backoff)")
 		metrics  = flag.String("metrics", "", "fetch the server's METRICS snapshot after the run and write the Prometheus text here")
+		slowN    = flag.Int("slow", 0, "fetch the server's per-stage breakdown and SLOW tail exemplars after the run; print the slowest N with stage attribution (0 = off)")
 	)
 	flag.Parse()
 
@@ -126,6 +133,15 @@ func main() {
 		}
 		doc.Audit = &a
 		printAudit(a)
+	}
+	if *slowN > 0 {
+		// Server-side attribution next to the client-side percentiles
+		// above: the per-stage breakdown (echoed into the report's
+		// "stages" block) and the slowest requests' spans, each with the
+		// stage that dominated its wall time.
+		if err := reportServerSide(*addr, &doc, *slowN); err != nil {
+			fatal(fmt.Errorf("slow: %w", err))
+		}
 	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(doc, "", "  ")
@@ -286,6 +302,92 @@ func fetchMetrics(addr string) (string, error) {
 	return "", fmt.Errorf("connection closed before %q terminator", "# EOF")
 }
 
+// fetchStats sends the STATS verb and parses the server's one-line
+// JSON report document.
+func fetchStats(addr string) (kvwire.Doc, error) {
+	c, err := dialConn(addr)
+	if err != nil {
+		return kvwire.Doc{}, err
+	}
+	defer c.c.Close()
+	r, err := c.roundTrip(kvwire.Request{Op: kvwire.OpStats})
+	if err != nil {
+		return kvwire.Doc{}, err
+	}
+	if !r.OK() {
+		return kvwire.Doc{}, fmt.Errorf("server: %s %s", r.Status, r.Raw)
+	}
+	var doc kvwire.Doc
+	if err := json.Unmarshal([]byte(r.Raw), &doc); err != nil {
+		return kvwire.Doc{}, err
+	}
+	return doc, nil
+}
+
+// fetchSlow sends the SLOW verb and parses the tail-exemplar document.
+// A spans-disabled server answers "ERR ...", surfaced as an error.
+func fetchSlow(addr string) (kvwire.SlowDoc, error) {
+	c, err := dialConn(addr)
+	if err != nil {
+		return kvwire.SlowDoc{}, err
+	}
+	defer c.c.Close()
+	r, err := c.roundTrip(kvwire.Request{Op: kvwire.OpSlow})
+	if err != nil {
+		return kvwire.SlowDoc{}, err
+	}
+	if !r.OK() {
+		return kvwire.SlowDoc{}, fmt.Errorf("server: %s %s", r.Status, r.Raw)
+	}
+	var slow kvwire.SlowDoc
+	if err := json.Unmarshal([]byte(r.Raw), &slow); err != nil {
+		return kvwire.SlowDoc{}, err
+	}
+	return slow, nil
+}
+
+// reportServerSide prints the server's per-stage latency breakdown and
+// its slowest requests' spans next to kvload's own client-side
+// percentiles, and echoes the stage rows into the report document. The
+// "dominant=" token names the stage holding the largest share of each
+// exemplar's wall time — the one-line answer to "why was this request
+// slow" (chaos assertions grep it).
+func reportServerSide(addr string, doc *kvwire.Doc, n int) error {
+	srv, err := fetchStats(addr)
+	if err != nil {
+		return err
+	}
+	doc.Stages = srv.Stages
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	if len(srv.Stages) > 0 {
+		fmt.Println("server stages (service-side, merged across workers):")
+		fmt.Printf("%9s %9s  %10s %10s %10s %10s\n",
+			"stage", "count", "mean_us", "p50_us", "p99_us", "max_us")
+		for _, st := range srv.Stages {
+			fmt.Printf("%9s %9d  %10.1f %10.1f %10.1f %10.1f\n",
+				st.Stage, st.Count, st.MeanNS/1e3, us(st.P50NS), us(st.P99NS), us(st.MaxNS))
+		}
+	}
+	slow, err := fetchSlow(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server tail exemplars: %d retained, threshold %.1fus\n",
+		len(slow.Exemplars), us(slow.ThresholdNS))
+	for i, sp := range slow.Exemplars {
+		if i >= n {
+			break
+		}
+		fmt.Printf("  req=%d op=%s status=%s tenant=%d wall=%.1fus dominant=%s",
+			sp.Req, sp.Op, sp.Status, sp.Tenant, us(sp.WallNS), sp.Dominant())
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			fmt.Printf(" %s=%.1fus", st, us(sp.Stage[st]))
+		}
+		fmt.Printf(" kcas=%d/%d/%d (publish/help/abort)\n", sp.Publishes, sp.Helps, sp.Aborts)
+	}
+	return nil
+}
+
 func dialConn(addr string) (*conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -305,7 +407,7 @@ func (c *conn) roundTrip(req kvwire.Request) (kvwire.Response, error) {
 		}
 		return kvwire.Response{}, fmt.Errorf("connection closed by server")
 	}
-	return kvwire.ParseResponse(c.in.Text(), req.Op != kvwire.OpStats)
+	return kvwire.ParseResponse(c.in.Text(), req.Op != kvwire.OpStats && req.Op != kvwire.OpSlow)
 }
 
 func (g *generator) run() error {

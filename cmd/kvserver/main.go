@@ -37,6 +37,16 @@
 // "STATS <json>" line every D; -pprof ADDR serves net/http/pprof on a
 // side listener.
 //
+// Request spans are also on by default (-spans=false disables): each
+// data-path request's wall time is decomposed into queue (accept→worker
+// borrow), parse, execute (with kcas publish/help/abort deltas),
+// degrade (retry backoff) and write stages. Per-stage histograms reach
+// STATS ("stages") and METRICS (stage_* series); the SLOW verb returns
+// the slowest requests' full spans as JSON (tail exemplars, threshold-
+// gated by the windowed p99 so the buffer tracks the current tail); a
+// -trace dump interleaves span records with protocol events, joined by
+// request id.
+//
 // Example:
 //
 //	kvserver -addr :7070 -tenants 4 -workers 16
@@ -93,8 +103,11 @@ func main() {
 		slo      = flag.Duration("slo", 0, "p99 service-time SLO; overload sheds lowest-priority tenants (0 = no shedding)")
 
 		metrics    = flag.Bool("metrics", true, "enable the metrics registry and the METRICS wire verb")
-		traceOut   = flag.String("trace", "", "enable descriptor-protocol tracing; write JSONL events to this file at drain")
+		traceOut   = flag.String("trace", "", "enable descriptor-protocol tracing; write JSONL events (and spans) to this file at drain")
 		traceBuf   = flag.Int("tracebuf", 0, "per-thread trace ring capacity (0 = default)")
+		spans      = flag.Bool("spans", true, "enable request-scoped spans: per-stage latency attribution, tail exemplars and the SLOW wire verb")
+		spanBuf    = flag.Int("spanbuf", 0, "per-worker completed-span ring capacity (0 = default)")
+		slowK      = flag.Int("slowk", 0, "tail-exemplar buffer size served by SLOW (0 = default)")
 		statsEvery = flag.Duration("statsevery", 0, "print a 'STATS <json>' line on stdout at this period (0 = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address, e.g. 127.0.0.1:6060 (empty = off)")
 	)
@@ -118,6 +131,7 @@ func main() {
 		Deadline: *deadline, WriteTimeout: *wtimeout, SLO: *slo,
 		Fault:   plan,
 		Metrics: *metrics, Trace: *traceOut != "", TraceBuf: *traceBuf,
+		Spans: *spans, SpanBuf: *spanBuf, SpanTopK: *slowK,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

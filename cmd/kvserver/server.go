@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/kvwire"
 	"repro/internal/latency"
+	"repro/internal/obs"
 )
 
 // Config shapes one Server.
@@ -70,6 +72,17 @@ type Config struct {
 	// TraceBuf sizes the per-thread rings (0 = obs default).
 	Trace    bool
 	TraceBuf int
+	// Spans enables the request-scoped span layer: each data-path
+	// request's wall time is decomposed into queue/parse/execute/
+	// degrade/write stages, recorded into per-stage histograms (STATS
+	// "stages" block, METRICS stage_* series) and per-worker rings, with
+	// the slowest requests retained as tail exemplars behind a windowed-
+	// p99 threshold gate and served by the SLOW wire verb. SpanBuf sizes
+	// the per-worker completed-span rings and SpanTopK the exemplar
+	// buffer (0 = obs defaults).
+	Spans    bool
+	SpanBuf  int
+	SpanTopK int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +140,13 @@ type Server struct {
 	workers chan *worker
 	started time.Time
 
+	// Span layer (nil when Config.Spans is off; every use is nil-safe
+	// or gated, so the disabled request path stays allocation-free).
+	spans  *obs.Spans
+	stages *latency.Stages
+	reg    *obs.Registry
+	trc    *obs.Tracer
+
 	draining  atomic.Bool
 	shedLevel atomic.Int32
 	shedStop  chan struct{}
@@ -154,7 +174,10 @@ func NewServer(cfg Config) *Server {
 		DescCapacity:  cfg.DescCapacity,
 		Elimination:   repro.EliminationConfig{Enable: cfg.Elimination},
 		Adaptive:      repro.AdaptiveConfig{Enable: cfg.Adaptive},
-		Obs:           repro.ObsConfig{Metrics: cfg.Metrics, Trace: cfg.Trace, TraceBuf: cfg.TraceBuf},
+		Obs: repro.ObsConfig{
+			Metrics: cfg.Metrics, Trace: cfg.Trace, TraceBuf: cfg.TraceBuf,
+			Spans: cfg.Spans, SpanBuf: cfg.SpanBuf, SpanTopK: cfg.SpanTopK,
+		},
 	}
 	if cfg.Fault != nil {
 		rc.Fault = cfg.Fault
@@ -178,7 +201,17 @@ func NewServer(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers <- &worker{idx: i, th: rt.RegisterThread()}
 	}
-	if reg := rt.Obs().Metrics(); reg != nil {
+	s.spans = rt.Obs().Spans()
+	s.reg = rt.Obs().Metrics()
+	s.trc = rt.Obs().Tracer()
+	if s.spans != nil {
+		names := make([]string, obs.NumStages)
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			names[st] = st.String()
+		}
+		s.stages = latency.NewStages(cfg.Workers, names)
+	}
+	if reg := s.reg; reg != nil {
 		// The degradation counters join the registry under the same
 		// names the STATS robust block reports, so METRICS output and
 		// RobustCounters reconcile by construction.
@@ -187,9 +220,40 @@ func NewServer(cfg Config) *Server {
 		reg.AddFunc("shed_total", s.shed.Load)
 		reg.AddFunc("slow_clients_total", s.slowClients.Load)
 		reg.AddFunc("lost_workers_total", s.lostWorkers.Load)
+		// Self-describing scrapes: process uptime and build identity.
+		reg.AddGauge("uptime_seconds", func() uint64 {
+			return uint64(time.Since(s.started).Seconds())
+		})
+		reg.AddInfo("build_info", fmt.Sprintf("go_version=%q,gomaxprocs=\"%d\"",
+			runtime.Version(), runtime.GOMAXPROCS(0)))
+		if s.stages != nil {
+			// Per-stage histogram series: one count plus current
+			// percentile/max gauges per span stage, merged across
+			// workers at scrape time.
+			for st := obs.Stage(0); st < obs.NumStages; st++ {
+				st := st
+				name := st.String()
+				reg.AddFunc("stage_"+name+"_count_total", func() uint64 {
+					return s.stages.Merged(int(st)).Count
+				})
+				reg.AddGauge("stage_"+name+"_p50_ns", func() uint64 {
+					return uint64(s.stages.Merged(int(st)).Percentile(0.50))
+				})
+				reg.AddGauge("stage_"+name+"_p99_ns", func() uint64 {
+					return uint64(s.stages.Merged(int(st)).Percentile(0.99))
+				})
+				reg.AddGauge("stage_"+name+"_max_ns", func() uint64 {
+					return uint64(s.stages.Merged(int(st)).Max())
+				})
+			}
+			reg.AddFunc("spans_dropped_total", s.spans.Dropped)
+		}
 	}
 	if cfg.SLO > 0 {
 		go s.shedController()
+	}
+	if s.spans != nil {
+		go s.spanTuner()
 	}
 	return s
 }
@@ -216,7 +280,19 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		w := <-s.workers
+		// Borrow wait is the queue stage of the connection's first
+		// request: pool queueing happens here, before service time
+		// starts, so without this measurement it hides from every
+		// histogram. Only measured when spans are on.
+		var borrowNS int64
+		var w *worker
+		if s.spans != nil {
+			t := time.Now()
+			w = <-s.workers
+			borrowNS = time.Since(t).Nanoseconds()
+		} else {
+			w = <-s.workers
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -227,7 +303,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.handle(conn, w)
+		go s.handle(conn, w, borrowNS)
 	}
 }
 
@@ -336,6 +412,32 @@ func (s *Server) shedController() {
 	}
 }
 
+// spanTuner runs while spans are enabled: each period it recomputes the
+// windowed p99 of the service-time recorder (the same windowed delta
+// the overload controller uses) and installs it as the tail-exemplar
+// threshold, so under a load shift the exemplar buffer self-tunes —
+// only requests at or beyond the *current* tail displace retained
+// exemplars. Idle windows (too few samples for a meaningful p99) leave
+// the previous threshold standing.
+func (s *Server) spanTuner() {
+	tick := time.NewTicker(shedPeriod)
+	defer tick.Stop()
+	prev := s.rec.MergedAll()
+	for {
+		select {
+		case <-s.shedStop:
+			return
+		case <-tick.C:
+		}
+		cur := s.rec.MergedAll()
+		win := cur.Sub(prev)
+		prev = cur
+		if win.Count >= 16 {
+			s.spans.SetThreshold(win.Percentile(0.99))
+		}
+	}
+}
+
 // shouldShed reports whether the overload controller is currently
 // shedding ops addressed to (or sourced from) tenant tn.
 func (s *Server) shouldShed(tn int) bool {
@@ -343,7 +445,7 @@ func (s *Server) shouldShed(tn int) bool {
 	return level > 0 && tn >= s.cfg.Tenants-level
 }
 
-func (s *Server) handle(conn net.Conn, w *worker) {
+func (s *Server) handle(conn net.Conn, w *worker, borrowNS int64) {
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -363,13 +465,36 @@ func (s *Server) handle(conn net.Conn, w *worker) {
 	in := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)
 	for in.Scan() {
-		resp := s.exec(w, in.Text())
+		var sp obs.Span
+		resp := s.exec(w, in.Text(), &sp)
+		// sp.Op is set iff exec opened a span (spans on, data-path op,
+		// clean parse); finish it around the response write so the
+		// write stage and full wall time land in the record.
+		spanning := sp.Op != ""
+		var tw time.Time
+		if spanning {
+			if borrowNS > 0 {
+				// The connection's first request absorbs the worker
+				// borrow wait; the span starts at accept, not at parse.
+				sp.Stage[obs.StageQueue] = borrowNS
+				sp.StartNS -= borrowNS
+			}
+			tw = time.Now()
+		}
 		out.WriteString(resp)
 		out.WriteByte('\n')
 		if s.cfg.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		}
-		if err := out.Flush(); err != nil {
+		err := out.Flush()
+		if spanning {
+			now := time.Now()
+			sp.Stage[obs.StageWrite] = now.Sub(tw).Nanoseconds()
+			sp.WallNS = s.spans.SinceEpoch(now) - sp.StartNS
+			s.finishSpan(w, sp)
+			borrowNS = 0 // attributed once
+		}
+		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				s.slowClients.Add(1) // shed the client that can't drain
@@ -382,12 +507,37 @@ func (s *Server) handle(conn net.Conn, w *worker) {
 	}
 }
 
+// finishSpan records a completed span into the worker's ring, the
+// per-stage histograms and the exemplar gate, then clears the serving
+// thread's current-request slot in the tracer.
+func (s *Server) finishSpan(w *worker, sp obs.Span) {
+	s.spans.Finish(w.idx, sp)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		s.stages.RecordNS(w.idx, int(st), sp.Stage[st])
+	}
+	s.trc.SetRequest(w.th.ID(), 0)
+}
+
 // exec parses and applies one request line, recording the data-path
 // service time against the request's (source) tenant. Degradation
 // checks run before execution: a shed verdict or a resource-exhaustion
 // failure answers BUSY/TIMEOUT with the operation guaranteed
 // unexecuted.
-func (s *Server) exec(w *worker, line string) string {
+//
+// When spans are enabled, exec opens a span for every cleanly-parsed
+// data-path request (sp.Op set marks it open; control verbs and parse
+// errors stay unspanned): parse and execute stage times, degradation
+// backoff (accumulated by applyWithRetry), the serving thread's kcas
+// counter deltas, and the request id — also installed as the tracer's
+// current request, so every protocol event the execution records
+// carries it. The caller (handle) closes the span around the response
+// write.
+func (s *Server) exec(w *worker, line string, sp *obs.Span) string {
+	spanning := s.spans != nil
+	var t0 time.Time
+	if spanning {
+		t0 = time.Now()
+	}
 	req, err := kvwire.ParseRequest(line, s.cfg.Tenants)
 	if err != nil {
 		return "ERR " + err.Error()
@@ -395,14 +545,59 @@ func (s *Server) exec(w *worker, line string) string {
 	if req.Op >= kvwire.OpCount {
 		return s.execControl(w, req)
 	}
+	tid := w.th.ID()
+	if spanning {
+		sp.Req = s.spans.NextReq()
+		sp.TID = int32(tid)
+		sp.Worker = int32(w.idx)
+		sp.Tenant = int32(req.Tenant)
+		sp.Op = req.Op.String()
+		sp.StartNS = s.spans.SinceEpoch(t0)
+		sp.Stage[obs.StageParse] = time.Since(t0).Nanoseconds()
+		s.trc.SetRequest(tid, sp.Req)
+	}
 	if s.shouldShed(req.Tenant) {
 		s.shed.Add(1)
 		s.busy.Add(1)
+		if spanning {
+			sp.Status = "BUSY"
+		}
 		return "BUSY"
 	}
-	t0 := time.Now()
-	resp := s.applyWithRetry(w.th, req, t0)
-	s.rec.Record(w.idx, req.Tenant, int(req.Op), time.Since(t0))
+	var pub0, help0, abort0 uint64
+	if spanning && s.reg != nil {
+		pub0 = s.reg.ThreadValue(tid, obs.KCASPublish)
+		help0 = s.reg.ThreadValue(tid, obs.KCASHelp)
+		abort0 = s.reg.ThreadValue(tid, obs.KCASAbort)
+	}
+	t1 := time.Now()
+	resp := s.applyWithRetry(w.th, req, t1, sp)
+	d := time.Since(t1)
+	s.rec.Record(w.idx, req.Tenant, int(req.Op), d)
+	if spanning {
+		// Execute is service time minus the backoff sleeps the retry
+		// loop attributed to the degrade stage.
+		execNS := d.Nanoseconds() - sp.Stage[obs.StageDegrade]
+		if execNS < 0 {
+			execNS = 0
+		}
+		sp.Stage[obs.StageExec] = execNS
+		if s.reg != nil {
+			sp.Publishes = s.reg.ThreadValue(tid, obs.KCASPublish) - pub0
+			sp.Helps = s.reg.ThreadValue(tid, obs.KCASHelp) - help0
+			sp.Aborts = s.reg.ThreadValue(tid, obs.KCASAbort) - abort0
+		}
+		sp.Status = statusToken(resp)
+	}
+	return resp
+}
+
+// statusToken extracts the response's leading status token ("OK 7" →
+// "OK").
+func statusToken(resp string) string {
+	if i := strings.IndexByte(resp, ' '); i >= 0 {
+		return resp[:i]
+	}
 	return resp
 }
 
@@ -412,7 +607,7 @@ func (s *Server) exec(w *worker, line string) string {
 // then answer TIMEOUT. Both statuses guarantee non-execution — Try
 // unwinds from init-phase code, before the operation publishes
 // anything.
-func (s *Server) applyWithRetry(th *repro.Thread, req kvwire.Request, t0 time.Time) string {
+func (s *Server) applyWithRetry(th *repro.Thread, req kvwire.Request, t0 time.Time, sp *obs.Span) string {
 	var resp string
 	err := th.Try(func() { resp = s.apply(th, req) })
 	if err == nil {
@@ -422,13 +617,23 @@ func (s *Server) applyWithRetry(th *repro.Thread, req kvwire.Request, t0 time.Ti
 		s.busy.Add(1)
 		return "BUSY"
 	}
+	spanning := s.spans != nil
 	jit := backoff.NewJitter(time.Millisecond, 50*time.Millisecond, uint64(t0.UnixNano()))
 	for {
 		if time.Since(t0) >= s.cfg.Deadline {
 			s.timeouts.Add(1)
 			return "TIMEOUT"
 		}
-		jit.Sleep()
+		if spanning {
+			// The backoff sleep is degradation overhead, not execution:
+			// attribute it to the degrade stage so a deadline-bound
+			// retry storm doesn't masquerade as slow container code.
+			ts := time.Now()
+			jit.Sleep()
+			sp.Stage[obs.StageDegrade] += time.Since(ts).Nanoseconds()
+		} else {
+			jit.Sleep()
+		}
 		if err = th.Try(func() { resp = s.apply(th, req) }); err == nil {
 			return resp
 		}
@@ -501,6 +706,19 @@ func (s *Server) execControl(w *worker, req kvwire.Request) string {
 		return fmt.Sprintf("OK %d %d %d", mapN, mapSum, queueN)
 	case kvwire.OpMetrics:
 		return s.metricsText()
+	case kvwire.OpSlow:
+		if s.spans == nil {
+			return "ERR spans disabled"
+		}
+		b, err := json.Marshal(kvwire.SlowDoc{
+			ThresholdNS: s.spans.Threshold(),
+			Dropped:     s.spans.Dropped(),
+			Exemplars:   s.spans.Exemplars(),
+		})
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + string(b)
 	}
 	return "ERR unreachable"
 }
@@ -521,15 +739,22 @@ func (s *Server) metricsText() string {
 	return strings.TrimSuffix(b.String(), "\n")
 }
 
-// WriteTrace drains the protocol tracer and writes the events as JSONL;
-// a no-op (nil error, no output) when tracing is disabled. main calls
-// it on the SIGTERM drain path after the server has quiesced.
+// WriteTrace drains the protocol tracer and writes the events as
+// JSONL, followed by the span layer's buffered request spans when
+// spans are enabled (span lines carry a "span":1 discriminator; the
+// mixed file is what cmd/tracecheck reads). A no-op (nil error, no
+// output) when both surfaces are disabled. main calls it on the
+// SIGTERM drain path after the server has quiesced.
 func (s *Server) WriteTrace(w io.Writer) error {
-	trc := s.rt.Obs().Tracer()
-	if trc == nil {
-		return nil
+	if s.trc != nil {
+		if err := repro.WriteTraceJSONL(w, s.trc.Drain()); err != nil {
+			return err
+		}
 	}
-	return repro.WriteTraceJSONL(w, trc.Drain())
+	if s.spans != nil {
+		return repro.WriteSpansJSONL(w, s.spans.Completed())
+	}
+	return nil
 }
 
 // Stats merges the per-worker histogram stripes into the kvwire report
@@ -562,10 +787,18 @@ func (s *Server) Stats() kvwire.Doc {
 		LostWorkers: s.lostWorkers.Load(),
 		Drained:     s.draining.Load(),
 	}
-	if reg := s.rt.Obs().Metrics(); reg != nil {
+	if reg := s.reg; reg != nil {
 		// Same names, same registry as the METRICS verb; every known
 		// series present even at zero (like the robust block).
 		doc.Obs = reg.Snapshot().Counters
+	}
+	if s.stages != nil {
+		// The span layer's per-stage breakdown, merged across workers:
+		// where wall time actually went, one row per stage even at zero
+		// traffic (grep-style assertions again).
+		for st, name := range s.stages.Names() {
+			doc.Stages = append(doc.Stages, kvwire.StageRowFrom(name, s.stages.Merged(st)))
+		}
 	}
 	return doc
 }

@@ -19,7 +19,9 @@ import (
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/kvwire"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -377,6 +379,126 @@ func TestServerTimeoutAfterDeadline(t *testing.T) {
 	}
 	if r := c2.roundTrip(t, "PING", false); !r.OK() {
 		t.Fatalf("PING after TIMEOUT: %+v", r)
+	}
+}
+
+// TestServerSlowExemplarsAttributeStall is the tail-forensics
+// acceptance check: under a kcas-publish stall rule, the SLOW verb's
+// exemplars must attribute the slowest requests' latency to the
+// execute stage (where the injected stall actually lives), carry the
+// kcas publish deltas that did the work, and the per-stage histograms
+// must reach both STATS and METRICS.
+func TestServerSlowExemplarsAttributeStall(t *testing.T) {
+	plan, err := repro.ParseFaultPlan([]string{"kcas-publish:stall=2ms:every=2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SpanTopK 8 < the stalled-request count, so the exemplar buffer
+	// holds only genuinely stalled requests once traffic quiesces.
+	s := NewServer(Config{Tenants: 2, Workers: 2, Shards: 1, Buckets: 2,
+		Fault: plan, Metrics: true, Spans: true, SpanTopK: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Close()
+
+	cl := dial(t, ln.Addr().String())
+	defer cl.conn.Close()
+	const moves = 32
+	for i := 0; i < moves; i++ {
+		if r := cl.roundTrip(t, fmt.Sprintf("PUT 0 %d %d", i, 1000+i), false); !r.OK() {
+			t.Fatalf("PUT %d: %+v", i, r)
+		}
+	}
+	// Every second MOVE's descriptor publish stalls 2ms: execute-stage
+	// time the span layer must attribute.
+	for i := 0; i < moves; i++ {
+		if r := cl.roundTrip(t, fmt.Sprintf("MOVE 0 1 %d %d", i, i), false); !r.OK() {
+			t.Fatalf("MOVE %d: %+v", i, r)
+		}
+	}
+
+	r := cl.roundTrip(t, "SLOW", false)
+	if !r.OK() {
+		t.Fatalf("SLOW: %+v", r)
+	}
+	var slow kvwire.SlowDoc
+	if err := json.Unmarshal([]byte(r.Raw), &slow); err != nil {
+		t.Fatalf("SLOW JSON: %v\n%s", err, r.Raw)
+	}
+	if len(slow.Exemplars) == 0 {
+		t.Fatal("SLOW returned no exemplars despite stalled traffic")
+	}
+	execDominant, published := 0, 0
+	for _, sp := range slow.Exemplars {
+		if sp.Req == 0 || sp.Op == "" || sp.WallNS <= 0 {
+			t.Fatalf("malformed exemplar %+v", sp)
+		}
+		var sum int64
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			if sp.Stage[st] < 0 {
+				t.Fatalf("exemplar req=%d: negative %s stage", sp.Req, st)
+			}
+			sum += sp.Stage[st]
+		}
+		if sum > sp.WallNS+int64(time.Millisecond) {
+			t.Fatalf("exemplar req=%d: stage sum %d exceeds wall %d", sp.Req, sum, sp.WallNS)
+		}
+		if sp.Dominant() == obs.StageExec {
+			execDominant++
+		}
+		if sp.Publishes > 0 {
+			published++
+		}
+	}
+	if 2*execDominant <= len(slow.Exemplars) {
+		t.Fatalf("only %d/%d exemplars attribute their latency to the execute stage",
+			execDominant, len(slow.Exemplars))
+	}
+	if published == 0 {
+		t.Fatal("no exemplar carries a kcas publish delta despite MOVE traffic")
+	}
+
+	// The per-stage histograms surface in STATS …
+	var doc kvwire.Doc
+	if err := json.Unmarshal([]byte(cl.roundTrip(t, "STATS", false).Raw), &doc); err != nil {
+		t.Fatalf("STATS: %v", err)
+	}
+	if len(doc.Stages) != int(obs.NumStages) {
+		t.Fatalf("STATS has %d stage rows, want %d: %+v", len(doc.Stages), obs.NumStages, doc.Stages)
+	}
+	var execRow *kvwire.StageRow
+	for i := range doc.Stages {
+		if doc.Stages[i].Stage == "execute" {
+			execRow = &doc.Stages[i]
+		}
+	}
+	if execRow == nil || execRow.Count == 0 || execRow.MaxNS < int64(time.Millisecond) {
+		t.Fatalf("execute stage row does not reflect the stall: %+v", execRow)
+	}
+
+	// … and in METRICS (multi-line, framed by "# EOF"), alongside the
+	// uptime and build-info series.
+	if _, err := fmt.Fprintln(cl.conn, "METRICS"); err != nil {
+		t.Fatal(err)
+	}
+	var metrics strings.Builder
+	for cl.in.Scan() {
+		metrics.WriteString(cl.in.Text())
+		metrics.WriteByte('\n')
+		if cl.in.Text() == "# EOF" {
+			break
+		}
+	}
+	for _, want := range []string{
+		"stage_execute_count_total", "stage_execute_p99_ns", "stage_queue_max_ns",
+		"spans_dropped_total", "uptime_seconds", "build_info{", "gomaxprocs=",
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("METRICS missing %q", want)
+		}
 	}
 }
 

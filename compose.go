@@ -447,8 +447,10 @@ func ParseFaultPlan(specs []string) (*FaultPlan, error) { return fault.Parse(spe
 // Config.Obs): Metrics enables the striped counter registry the
 // substrate and containers report into, Trace the descriptor-protocol
 // tracer (publish / help / commit / abort / recycle events with
-// helper→victim attribution). The zero value disables both at zero cost
-// beyond a nil check per hook site; see docs/observability.md.
+// helper→victim attribution), Spans the request-scoped span recorder
+// the serving layer records latency attributions into. The zero value
+// disables all three at zero cost beyond a nil check per hook site; see
+// docs/observability.md.
 type ObsConfig = obs.Config
 
 // Obs bundles a runtime's enabled telemetry surfaces; obtain it from
@@ -482,3 +484,32 @@ func WriteTraceJSONL(w io.Writer, events []TraceEvent) error { return obs.WriteJ
 // WriteChromeTrace serializes drained trace events in Chrome
 // trace_event format for chrome://tracing or ui.perfetto.dev.
 func WriteChromeTrace(w io.Writer, events []TraceEvent) error { return obs.WriteChromeTrace(w, events) }
+
+// Span is one completed request's latency attribution: wall time
+// decomposed into stages (queue wait, parse, execute, degrade, write)
+// plus the kcas protocol work — publishes, helps, aborts — its execute
+// stage performed. The Req id cross-references the TraceEvents the
+// serving thread recorded while the request was current.
+type Span = obs.Span
+
+// Spans is the request-span recorder: per-worker overwrite-oldest rings
+// of completed spans plus a threshold-gated top-K tail-exemplar buffer;
+// obtain it from Obs.Spans (nil when ObsConfig.Spans is off — every
+// method stays safe on nil).
+type Spans = obs.Spans
+
+// WriteSpansJSONL serializes completed spans one JSON object per line;
+// span lines carry a top-level "span":1 key, so they interleave with
+// WriteTraceJSONL event lines in one mixed trace file.
+func WriteSpansJSONL(w io.Writer, spans []Span) error { return obs.WriteSpansJSONL(w, spans) }
+
+// ReadTrace parses a mixed JSONL trace file back into its event and
+// span records, strictly — the reader cmd/tracecheck validates with.
+func ReadTrace(r io.Reader) ([]TraceEvent, []Span, error) { return obs.ReadTrace(r) }
+
+// WriteChromeTraceWith serializes protocol events plus request spans in
+// Chrome trace_event format: events as instants, each span as one
+// "complete" slice per nonzero stage on its serving thread's row.
+func WriteChromeTraceWith(w io.Writer, events []TraceEvent, spans []Span) error {
+	return obs.WriteChromeTraceWith(w, events, spans)
+}

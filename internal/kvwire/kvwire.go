@@ -20,6 +20,7 @@
 //	XFER <stenant> <dtenant> <sk,..> <tk,..> → OK <v,..> | FAIL
 //	DRAIN <stenant> <dtenant> <n>          → OK <v,..> (may be empty)
 //	STATS                                  → OK <one-line JSON>
+//	SLOW                                   → OK <one-line JSON>
 //	AUDIT                                  → OK <mapN> <mapSum> <queueN>
 //	PING                                   → OK
 //	METRICS                                → Prometheus text, multi-line,
@@ -30,6 +31,13 @@
 // format and the OpenMetrics "# EOF" terminator frames it, so clients
 // read lines until "# EOF" (or a leading "ERR " line when the registry
 // is disabled).
+//
+// SLOW returns the server's tail exemplars — the slowest requests'
+// spans, each with its full per-stage latency breakdown — as a
+// one-line SlowDoc JSON document (ERR when spans are disabled). It is
+// the wire surface of the request-span layer: kvload prints the
+// breakdown next to its client-side percentiles, and CI greps it to
+// check that an injected stall is attributed to the execute stage.
 //
 // GET/PUT/DEL address a tenant's map; PUSH/POP its queue. The three
 // composed operations are the product feature: MOVE atomically
@@ -94,12 +102,14 @@ const (
 	OpAudit
 	OpPing
 	OpMetrics
+	OpSlow
 )
 
 var opNames = map[Op]string{
 	OpGet: "GET", OpPut: "PUT", OpDel: "DEL", OpPush: "PUSH", OpPop: "POP",
 	OpMove: "MOVE", OpXfer: "XFER", OpDrain: "DRAIN",
 	OpStats: "STATS", OpAudit: "AUDIT", OpPing: "PING", OpMetrics: "METRICS",
+	OpSlow: "SLOW",
 }
 
 // String returns the protocol verb.
@@ -153,7 +163,7 @@ func (r Request) Append(dst []byte) []byte {
 		dst = appendList(dst, r.TKeys)
 	case OpDrain:
 		dst = appendInts(dst, r.Tenant, r.DTenant, uint64(r.N))
-	case OpStats, OpAudit, OpPing, OpMetrics:
+	case OpStats, OpAudit, OpPing, OpMetrics, OpSlow:
 		// verb only
 	}
 	return append(dst, '\n')
@@ -276,8 +286,8 @@ func ParseRequest(line string, tenants int) (Request, error) {
 			return r, fmt.Errorf("bad DRAIN count %q", f[3])
 		}
 		r.N = n
-	case "STATS", "AUDIT", "PING", "METRICS":
-		r.Op = map[string]Op{"STATS": OpStats, "AUDIT": OpAudit, "PING": OpPing, "METRICS": OpMetrics}[f[0]]
+	case "STATS", "AUDIT", "PING", "METRICS", "SLOW":
+		r.Op = map[string]Op{"STATS": OpStats, "AUDIT": OpAudit, "PING": OpPing, "METRICS": OpMetrics, "SLOW": OpSlow}[f[0]]
 		if len(f) != 1 {
 			return r, fmt.Errorf("%s takes no arguments", f[0])
 		}

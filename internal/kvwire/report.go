@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"repro/internal/latency"
+	"repro/internal/obs"
 )
 
 // Row is one (tenant, op) latency record, the composebench -json row
@@ -51,6 +52,53 @@ func RowFrom(figure, tenant, op string, threads int, s latency.Snapshot, wallNS 
 		r.OpsPerSec = float64(s.Count) * 1e9 / wallNS
 	}
 	return r
+}
+
+// StageRow is one request-stage latency record: the same percentile
+// shape as Row, but over the span layer's stage dimension (queue wait,
+// parse, execute, degrade, write) merged across workers. kvserver
+// attaches them to STATS output and kvload prints them next to its
+// client-side percentiles, so a fat tail is attributable to a stage
+// without a second scrape.
+type StageRow struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	P999NS int64   `json:"p999_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// StageRowFrom fills a StageRow from a stage's merged snapshot.
+func StageRowFrom(stage string, s latency.Snapshot) StageRow {
+	return StageRow{
+		Stage:  stage,
+		Count:  s.Count,
+		MeanNS: s.MeanNS(),
+		P50NS:  s.Percentile(0.50),
+		P99NS:  s.Percentile(0.99),
+		P999NS: s.Percentile(0.999),
+		MaxNS:  s.Max(),
+	}
+}
+
+// SlowDoc is the SLOW verb's one-line JSON document: the server's tail
+// exemplars (slowest requests' spans, full stage breakdown each,
+// slowest first) plus the threshold gate that admitted them and the
+// count of completed spans overwritten unread. Each exemplar's own
+// JSON form carries the "span":1 discriminator, so a SlowDoc exemplar
+// pasted into a JSONL trace file still parses as a span record.
+type SlowDoc struct {
+	// ThresholdNS is the exemplar gate at snapshot time: the windowed
+	// p99 the span layer self-tunes to (0 until the first control
+	// window closes — every span admitted).
+	ThresholdNS int64 `json:"threshold_ns"`
+	// Dropped counts completed spans overwritten in the per-worker
+	// rings before any reader saw them.
+	Dropped uint64 `json:"dropped"`
+	// Exemplars are the retained slowest spans, slowest first.
+	Exemplars []obs.Span `json:"exemplars"`
 }
 
 // Audit is the conservation verdict of one kvload run: the totals the
@@ -139,6 +187,11 @@ type Doc struct {
 	// disabled (kvserver -metrics=false) or the emitter has none
 	// (kvload reports).
 	Obs map[string]uint64 `json:"obs,omitempty"`
+
+	// Stages is the server-side per-stage latency breakdown (span layer
+	// merged across workers), present when spans are enabled. kvload
+	// echoes it from the server's STATS response into its own report.
+	Stages []StageRow `json:"stages,omitempty"`
 
 	Rows []Row `json:"rows"`
 }

@@ -215,6 +215,15 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return d
 }
 
+// Max returns the exact largest recorded sample in nanoseconds (0 when
+// empty). Unlike Percentile(1), which reports a bucket midpoint with
+// the layout's ~3.1% relative error, Max is tracked exactly (atomic
+// max alongside the buckets) — exemplar thresholds and stall forensics
+// need the true worst case, not a bucket approximation. Merge takes
+// the larger of the two maxima; Sub carries s's max (maxima are not
+// invertible over a window).
+func (s Snapshot) Max() int64 { return s.MaxNS }
+
 // MeanNS returns the mean sample in nanoseconds (0 when empty).
 func (s Snapshot) MeanNS() float64 {
 	if s.Count == 0 {

@@ -117,6 +117,89 @@ func TestMergeEmpty(t *testing.T) {
 	}
 }
 
+// TestMax: the exact max is tracked independently of the bucket
+// approximation, survives Merge (larger wins) and Sub (carried from
+// the newer snapshot), and Max() matches MaxNS.
+func TestMax(t *testing.T) {
+	h := NewHist()
+	if got := h.Snapshot().Max(); got != 0 {
+		t.Fatalf("empty max = %d, want 0", got)
+	}
+	// A value a bucketed p100 would round: 1<<20 + 3 shares a bucket
+	// with neighbours, but Max must report it exactly.
+	exact := int64(1<<20 + 3)
+	h.RecordNS(500)
+	h.RecordNS(exact)
+	h.RecordNS(1000)
+	s := h.Snapshot()
+	if s.Max() != exact {
+		t.Fatalf("max = %d, want exactly %d", s.Max(), exact)
+	}
+	if s.Max() != s.MaxNS {
+		t.Fatalf("Max() = %d disagrees with MaxNS = %d", s.Max(), s.MaxNS)
+	}
+
+	// Merge keeps the larger max from either side.
+	lo, hi := NewHist(), NewHist()
+	lo.RecordNS(10)
+	hi.RecordNS(exact * 2)
+	m := lo.Snapshot()
+	m.Merge(hi.Snapshot())
+	if m.Max() != exact*2 {
+		t.Fatalf("merged max = %d, want %d", m.Max(), exact*2)
+	}
+	m2 := hi.Snapshot()
+	m2.Merge(lo.Snapshot())
+	if m2.Max() != exact*2 {
+		t.Fatalf("merge order must not matter: max = %d, want %d", m2.Max(), exact*2)
+	}
+
+	// Sub carries the newer snapshot's max (maxima are not invertible):
+	// even when the window added only fast samples, the lifetime max
+	// stands.
+	h2 := NewHist()
+	h2.RecordNS(exact)
+	prev := h2.Snapshot()
+	h2.RecordNS(50)
+	win := h2.Snapshot().Sub(prev)
+	if win.Count != 1 {
+		t.Fatalf("window count = %d, want 1", win.Count)
+	}
+	if win.Max() != exact {
+		t.Fatalf("window max = %d, want carried %d", win.Max(), exact)
+	}
+}
+
+// TestStages: the positional stage dimension stripes per worker,
+// merges per stage, and is a no-op when nil (the disabled path).
+func TestStages(t *testing.T) {
+	names := []string{"queue", "parse", "execute"}
+	st := NewStages(2, names)
+	if got := st.Names(); len(got) != 3 || got[2] != "execute" {
+		t.Fatalf("Names() = %v, want %v", got, names)
+	}
+	st.RecordNS(0, 0, 100)
+	st.RecordNS(1, 0, 300)
+	st.RecordNS(0, 2, 9000)
+	q := st.Merged(0)
+	if q.Count != 2 || q.Max() != 300 {
+		t.Fatalf("queue stage: count=%d max=%d, want 2/300", q.Count, q.Max())
+	}
+	if p := st.Merged(1); p.Count != 0 {
+		t.Fatalf("parse stage recorded nothing, count = %d", p.Count)
+	}
+	all := st.MergedAll()
+	if all.Count != 3 || all.Max() != 9000 {
+		t.Fatalf("MergedAll: count=%d max=%d, want 3/9000", all.Count, all.Max())
+	}
+
+	var nilStages *Stages
+	nilStages.RecordNS(0, 0, 1) // must not panic
+	if nilStages.Names() != nil || nilStages.Merged(0).Count != 0 || nilStages.MergedAll().Count != 0 {
+		t.Fatal("nil Stages must report empty")
+	}
+}
+
 // TestRecorderStripes checks that per-worker stripes merge to the
 // union and that unused cells stay unallocated.
 func TestRecorderStripes(t *testing.T) {

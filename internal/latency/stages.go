@@ -1,0 +1,71 @@
+package latency
+
+// Stages is a per-worker, per-stage histogram set: the stage dimension
+// the request-span layer records into (queue wait, parse, execute,
+// degradation backoff, response write), striped per worker exactly like
+// Recorder so hot-path recording stays single-writer. It is a thin
+// named view over a Recorder with one tenant: stages are positional,
+// with names fixed at construction, so callers index by the same enum
+// they use for span accounting.
+//
+// A nil *Stages is the disabled state: Record is a nil check and
+// report-time accessors return zero values, so the serving layer wires
+// it unconditionally.
+type Stages struct {
+	names []string
+	rec   *Recorder
+}
+
+// NewStages builds a stage histogram set for workers workers and the
+// given stage names (positional; must be non-empty).
+func NewStages(workers int, names []string) *Stages {
+	if len(names) == 0 {
+		panic("latency: NewStages needs at least one stage name")
+	}
+	ns := make([]string, len(names))
+	copy(ns, names)
+	return &Stages{names: ns, rec: NewRecorder(workers, 1, len(ns))}
+}
+
+// Names returns the stage names in positional order. The slice is
+// shared; callers must not mutate it. Nil-safe (returns nil).
+func (s *Stages) Names() []string {
+	if s == nil {
+		return nil
+	}
+	return s.names
+}
+
+// RecordNS adds one sample in nanoseconds to worker's histogram for
+// stage (positional). Allocation-free after the cell's first record; a
+// nil receiver is a no-op.
+func (s *Stages) RecordNS(worker, stage int, ns int64) {
+	if s == nil {
+		return
+	}
+	c := s.rec.cell(worker, 0, stage)
+	h := c.Load()
+	if h == nil {
+		h = NewHist()
+		c.Store(h)
+	}
+	h.RecordNS(ns)
+}
+
+// Merged returns the merged snapshot of one stage across all workers.
+// Nil-safe (returns an empty snapshot).
+func (s *Stages) Merged(stage int) Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return s.rec.Merged(0, stage)
+}
+
+// MergedAll returns the merged snapshot across every stage and worker.
+// Nil-safe (returns an empty snapshot).
+func (s *Stages) MergedAll() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return s.rec.MergedAll()
+}

@@ -31,6 +31,8 @@
 // trace_event JSON for timeline viewing — see docs/observability.md.
 package obs
 
+import "time"
+
 // Config selects which telemetry surfaces a runtime carries. The zero
 // value disables everything: hook sites then cost one nil check each and
 // the Move/MoveN hot paths are unchanged (see BenchmarkObsDisabled).
@@ -43,10 +45,21 @@ type Config struct {
 	// a power of two; oldest events are overwritten on overflow (the
 	// drop count is exported as trace_dropped_total). 0 selects 4096.
 	TraceBuf int
+	// Spans enables the request-scoped span recorder: per-worker rings
+	// of completed spans plus the top-K tail-exemplar buffer (the
+	// serving layer records into it and serves the SLOW verb from it).
+	Spans bool
+	// SpanBuf is the per-worker completed-span ring capacity, rounded
+	// up to a power of two; 0 selects DefaultSpanBuf (1024).
+	SpanBuf int
+	// SpanTopK sizes the tail-exemplar buffer (the K slowest requests
+	// past the threshold gate are retained); 0 selects DefaultSpanTopK
+	// (32).
+	SpanTopK int
 }
 
 // Enabled reports whether any surface is on.
-func (c Config) Enabled() bool { return c.Metrics || c.Trace }
+func (c Config) Enabled() bool { return c.Metrics || c.Trace || c.Spans }
 
 // Obs bundles the enabled surfaces of one runtime. A nil *Obs (the
 // disabled state) is valid: every accessor returns nil and the nil
@@ -54,20 +67,27 @@ func (c Config) Enabled() bool { return c.Metrics || c.Trace }
 type Obs struct {
 	metrics *Registry
 	tracer  *Tracer
+	spans   *Spans
 }
 
 // New builds the telemetry surfaces cfg selects, sized for maxThreads
-// registered threads. It returns nil when cfg disables everything.
+// registered threads. It returns nil when cfg disables everything. The
+// tracer and span recorder share one epoch, so span StartNS and event
+// TS values live on the same timeline.
 func New(cfg Config, maxThreads int) *Obs {
 	if !cfg.Enabled() {
 		return nil
 	}
 	o := &Obs{}
+	now := time.Now()
 	if cfg.Metrics {
 		o.metrics = NewRegistry(maxThreads)
 	}
 	if cfg.Trace {
-		o.tracer = NewTracer(maxThreads, cfg.TraceBuf)
+		o.tracer = newTracerAt(now, maxThreads, cfg.TraceBuf)
+	}
+	if cfg.Spans {
+		o.spans = newSpansAt(now, maxThreads, cfg.SpanBuf, cfg.SpanTopK)
 	}
 	return o
 }
@@ -88,4 +108,13 @@ func (o *Obs) Tracer() *Tracer {
 		return nil
 	}
 	return o.tracer
+}
+
+// Spans returns the request-span recorder, or nil when spans are off
+// (including on a nil receiver).
+func (o *Obs) Spans() *Spans {
+	if o == nil {
+		return nil
+	}
+	return o.spans
 }

@@ -55,10 +55,19 @@ type stripe struct {
 
 // series is one registered pull source. Multiple funcs may share a name;
 // Snapshot sums them (e.g. every map shard's elimination array registers
-// under elim_hits_total).
+// under elim_hits_total). gauge marks point-in-time series (AddGauge) as
+// opposed to monotone counters.
 type series struct {
-	name string
-	fn   func() uint64
+	name  string
+	fn    func() uint64
+	gauge bool
+}
+
+// info is one registered static info series (AddInfo): rendered as
+// `name{labels} 1` in Prometheus output, the build_info convention.
+type info struct {
+	name   string
+	labels string
 }
 
 // Registry is the striped metrics registry. Inc on distinct threads
@@ -69,6 +78,7 @@ type Registry struct {
 
 	mu    sync.Mutex
 	funcs []series
+	infos []info
 }
 
 // NewRegistry builds a registry sized for maxThreads registered threads.
@@ -100,6 +110,18 @@ func (r *Registry) Value(c Counter) uint64 {
 	return total
 }
 
+// ThreadValue reads counter c's value on thread tid's stripe alone. The
+// request-span layer uses before/after deltas of the serving thread's
+// stripe to attribute kcas publishes, helps and aborts to one request
+// without touching any other thread's cache line. Allocation-free; a
+// nil receiver returns 0.
+func (r *Registry) ThreadValue(tid int, c Counter) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.stripes[tid].c[c].Load()
+}
+
 // AddFunc registers a lazily-evaluated named series: fn is called at
 // every Snapshot and its value summed with any other funcs registered
 // under the same name. fn must be safe to call from any goroutine and
@@ -112,6 +134,38 @@ func (r *Registry) AddFunc(name string, fn func() uint64) {
 	r.mu.Lock()
 	r.funcs = append(r.funcs, series{name: name, fn: fn})
 	r.mu.Unlock()
+}
+
+// AddGauge registers a point-in-time series: like AddFunc, but the
+// value may go up or down (uptime, current percentiles) and Prometheus
+// output declares it a gauge instead of a counter. A nil receiver is a
+// no-op.
+func (r *Registry) AddGauge(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs = append(r.funcs, series{name: name, fn: fn, gauge: true})
+	r.mu.Unlock()
+}
+
+// AddInfo registers a static info series rendered as `name{labels} 1`
+// (the Prometheus build_info convention): labels is the pre-rendered
+// label body, e.g. `go_version="go1.24",gomaxprocs="8"`. Registering a
+// name again replaces its labels. A nil receiver is a no-op.
+func (r *Registry) AddInfo(name, labels string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.infos {
+		if r.infos[i].name == name {
+			r.infos[i].labels = labels
+			return
+		}
+	}
+	r.infos = append(r.infos, info{name: name, labels: labels})
 }
 
 // Snapshot merges every stripe and evaluates every registered func into
@@ -127,9 +181,22 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	funcs := r.funcs[:len(r.funcs):len(r.funcs)]
+	infos := r.infos[:len(r.infos):len(r.infos)]
 	r.mu.Unlock()
 	for _, f := range funcs {
 		s.Counters[f.name] += f.fn()
+		if f.gauge {
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]bool)
+			}
+			s.Gauges[f.name] = true
+		}
+	}
+	if len(infos) > 0 {
+		s.Infos = make(map[string]string, len(infos))
+		for _, in := range infos {
+			s.Infos[in.name] = in.labels
+		}
 	}
 	return s
 }
@@ -138,8 +205,16 @@ func (r *Registry) Snapshot() Snapshot {
 // plain value: safe to retain, diff, or serialize after the runtime is
 // gone.
 type Snapshot struct {
-	// Counters maps series name to its summed value.
+	// Counters maps series name to its summed value (gauge series
+	// included — Gauges marks which names are gauges).
 	Counters map[string]uint64
+	// Gauges marks the names registered via AddGauge (nil when none):
+	// WritePrometheus declares them `gauge` instead of `counter`, and
+	// Sub carries their current values instead of differencing them.
+	Gauges map[string]bool
+	// Infos maps info-series name (AddInfo) to its rendered label body;
+	// WritePrometheus emits each as `name{labels} 1`.
+	Infos map[string]string
 }
 
 // Get returns the named series' value (0 when absent).
@@ -156,7 +231,8 @@ func (s Snapshot) Names() []string {
 }
 
 // Merge adds every series of o into s (the harness uses it to aggregate
-// snapshots across per-trial runtimes).
+// snapshots across per-trial runtimes). Gauge and info marks union;
+// summed gauges across runtimes are the caller's interpretation burden.
 func (s *Snapshot) Merge(o Snapshot) {
 	if s.Counters == nil {
 		s.Counters = make(map[string]uint64)
@@ -164,13 +240,31 @@ func (s *Snapshot) Merge(o Snapshot) {
 	for n, v := range o.Counters {
 		s.Counters[n] += v
 	}
+	for n := range o.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]bool)
+		}
+		s.Gauges[n] = true
+	}
+	for n, l := range o.Infos {
+		if s.Infos == nil {
+			s.Infos = make(map[string]string)
+		}
+		s.Infos[n] = l
+	}
 }
 
-// Sub returns s minus prev per series (clamped at zero), for windowed
-// rates over two snapshots of the same registry.
+// Sub returns s minus prev per counter series (clamped at zero), for
+// windowed rates over two snapshots of the same registry. Gauge series
+// are point-in-time values, not monotone counts, so their current (s)
+// values carry through undifferenced; infos carry from s verbatim.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
-	d := Snapshot{Counters: make(map[string]uint64, len(s.Counters))}
+	d := Snapshot{Counters: make(map[string]uint64, len(s.Counters)), Gauges: s.Gauges, Infos: s.Infos}
 	for n, v := range s.Counters {
+		if s.Gauges[n] {
+			d.Counters[n] = v
+			continue
+		}
 		if p := prev.Counters[n]; v > p {
 			d.Counters[n] = v - p
 		} else {
@@ -181,12 +275,27 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 }
 
 // WritePrometheus serializes the snapshot in Prometheus text exposition
-// format, sorted by name, terminated by a "# EOF" line (the OpenMetrics
-// end marker; the kvwire METRICS verb relies on it to frame the
-// response on a line-oriented connection).
+// format, sorted by name — counters and gauges with their TYPE lines,
+// then info series as `name{labels} 1` — terminated by a "# EOF" line
+// (the OpenMetrics end marker; the kvwire METRICS verb relies on it to
+// frame the response on a line-oriented connection).
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range s.Names() {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+		typ := "counter"
+		if s.Gauges[name] {
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	infoNames := make([]string, 0, len(s.Infos))
+	for n := range s.Infos {
+		infoNames = append(infoNames, n)
+	}
+	sort.Strings(infoNames)
+	for _, n := range infoNames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} 1\n", n, n, s.Infos[n]); err != nil {
 			return err
 		}
 	}

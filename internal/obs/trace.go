@@ -85,6 +85,12 @@ type Event struct {
 	Peer int32
 	// Ref is the descriptor reference involved, 0 when not applicable.
 	Ref uint64
+	// Req is the request id current on the recording thread when the
+	// event was recorded (SetRequest), 0 when none: the join key
+	// between a request span and the protocol events its execution
+	// produced — a slow span's publish/help/commit chain is the trace
+	// filtered to its Req.
+	Req uint64
 }
 
 // ring is one thread's event buffer. The mutex makes Record/Drain safe
@@ -96,6 +102,7 @@ type ring struct {
 	buf   []Event
 	n     uint64 // events ever recorded into this ring
 	drops uint64 // events overwritten before a drain observed them
+	req   uint64 // current request id (SetRequest), stamped into events
 	_     pad.Line
 }
 
@@ -114,6 +121,12 @@ const DefaultTraceBuf = 4096
 // up to a power of two; <=0 selects DefaultTraceBuf) for each of
 // maxThreads threads.
 func NewTracer(maxThreads, perThread int) *Tracer {
+	return newTracerAt(time.Now(), maxThreads, perThread)
+}
+
+// newTracerAt pins the tracer's epoch; obs.New shares one epoch between
+// the tracer and the span recorder so both timelines align.
+func newTracerAt(epoch time.Time, maxThreads, perThread int) *Tracer {
 	if maxThreads <= 0 {
 		maxThreads = 1
 	}
@@ -121,7 +134,7 @@ func NewTracer(maxThreads, perThread int) *Tracer {
 		perThread = DefaultTraceBuf
 	}
 	perThread = pad.CeilPow2(perThread)
-	t := &Tracer{start: time.Now(), rings: make([]ring, maxThreads)}
+	t := &Tracer{start: epoch, rings: make([]ring, maxThreads)}
 	for i := range t.rings {
 		t.rings[i].buf = make([]Event, perThread)
 	}
@@ -129,7 +142,8 @@ func NewTracer(maxThreads, perThread int) *Tracer {
 }
 
 // Record appends one event to thread tid's ring, overwriting the oldest
-// on overflow. Allocation-free; a nil receiver is a no-op.
+// on overflow, stamped with the thread's current request id (see
+// SetRequest). Allocation-free; a nil receiver is a no-op.
 func (t *Tracer) Record(tid int, k EventKind, peer int32, ref uint64) {
 	if t == nil {
 		return
@@ -137,8 +151,23 @@ func (t *Tracer) Record(tid int, k EventKind, peer int32, ref uint64) {
 	ts := time.Since(t.start).Nanoseconds()
 	r := &t.rings[tid]
 	r.mu.Lock()
-	r.buf[int(r.n)&(len(r.buf)-1)] = Event{TS: ts, Kind: k, TID: int32(tid), Peer: peer, Ref: ref}
+	r.buf[int(r.n)&(len(r.buf)-1)] = Event{TS: ts, Kind: k, TID: int32(tid), Peer: peer, Ref: ref, Req: r.req}
 	r.n++
+	r.mu.Unlock()
+}
+
+// SetRequest installs req as thread tid's current request id: every
+// event the thread records until the next SetRequest carries it (the
+// request-scoped span layer sets it at request start and clears it —
+// req 0 — after the response is flushed). Allocation-free; a nil
+// receiver is a no-op.
+func (t *Tracer) SetRequest(tid int, req uint64) {
+	if t == nil {
+		return
+	}
+	r := &t.rings[tid]
+	r.mu.Lock()
+	r.req = req
 	r.mu.Unlock()
 }
 
@@ -187,29 +216,47 @@ func (t *Tracer) Dropped() uint64 {
 	return total
 }
 
-// jsonEvent is the JSONL wire form of an Event.
+// jsonEvent is the JSONL wire form of an Event. The Span field is a
+// record discriminator: event lines never set it, span lines
+// (WriteSpansJSONL) always do.
 type jsonEvent struct {
 	TSNS int64  `json:"ts_ns"`
 	Ev   string `json:"ev"`
 	TID  int32  `json:"tid"`
 	Peer int32  `json:"peer"`
 	Ref  uint64 `json:"ref"`
+	Req  uint64 `json:"req"`
+	Span int    `json:"span"`
 }
 
 // WriteJSONL serializes events one JSON object per line.
 func WriteJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	for _, e := range events {
-		if _, err := fmt.Fprintf(bw, `{"ts_ns":%d,"ev":%q,"tid":%d,"peer":%d,"ref":%d}`+"\n",
-			e.TS, e.Kind.String(), e.TID, e.Peer, e.Ref); err != nil {
+		if _, err := fmt.Fprintf(bw, `{"ts_ns":%d,"ev":%q,"tid":%d,"peer":%d,"ref":%d,"req":%d}`+"\n",
+			e.TS, e.Kind.String(), e.TID, e.Peer, e.Ref, e.Req); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadJSONL parses a JSONL trace back into events, validating each line
-// (cmd/tracecheck and the CI smoke job use it).
+// parseEventLine parses one JSONL event line strictly.
+func parseEventLine(raw []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(raw, &je); err != nil {
+		return Event{}, err
+	}
+	k, ok := KindFromString(je.Ev)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", je.Ev)
+	}
+	return Event{TS: je.TSNS, Kind: k, TID: je.TID, Peer: je.Peer, Ref: je.Ref, Req: je.Req}, nil
+}
+
+// ReadJSONL parses a JSONL trace back into its events, validating each
+// event line; span records in a mixed trace file are skipped (use
+// ReadTrace to get both). cmd/tracecheck and the CI smoke job use it.
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(r)
@@ -221,15 +268,20 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		if len(raw) == 0 {
 			continue
 		}
-		var je jsonEvent
-		if err := json.Unmarshal(raw, &je); err != nil {
+		var probe struct {
+			Span int `json:"span"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
 			return nil, fmt.Errorf("line %d: %w", line, err)
 		}
-		k, ok := KindFromString(je.Ev)
-		if !ok {
-			return nil, fmt.Errorf("line %d: unknown event kind %q", line, je.Ev)
+		if probe.Span != 0 {
+			continue
 		}
-		out = append(out, Event{TS: je.TSNS, Kind: k, TID: je.TID, Peer: je.Peer, Ref: je.Ref})
+		ev, err := parseEventLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, ev)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -253,8 +305,8 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		// ts is microseconds (Chrome's unit), kept fractional so
 		// nanosecond-close events keep their order.
 		if _, err := fmt.Fprintf(bw,
-			`%s{"name":%q,"ph":"i","s":"t","pid":0,"tid":%d,"ts":%d.%03d,"args":{"peer":%d,"ref":%d}}`,
-			sep, e.Kind.String(), e.TID, e.TS/1000, e.TS%1000, e.Peer, e.Ref); err != nil {
+			`%s{"name":%q,"ph":"i","s":"t","pid":0,"tid":%d,"ts":%d.%03d,"args":{"peer":%d,"ref":%d,"req":%d}}`,
+			sep, e.Kind.String(), e.TID, e.TS/1000, e.TS%1000, e.Peer, e.Ref, e.Req); err != nil {
 			return err
 		}
 	}

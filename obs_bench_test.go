@@ -55,6 +55,10 @@ func BenchmarkObsEnabled(b *testing.B) {
 	benchMovePingPong(b, repro.ObsConfig{Metrics: true, Trace: true})
 }
 
+func BenchmarkObsFull(b *testing.B) {
+	benchMovePingPong(b, repro.ObsConfig{Metrics: true, Trace: true, Spans: true})
+}
+
 // TestObsDisabledNoAllocs asserts the acceptance bound directly: with
 // observability off, the Move hot path performs zero allocations per
 // operation (after warmup lets the descriptor pool carve its blocks).
@@ -70,6 +74,39 @@ func TestObsDisabledNoAllocs(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(2000, move); avg != 0 {
 		t.Fatalf("disabled observability allocates %v allocs/op on Move, want 0", avg)
+	}
+}
+
+// TestObsSpansDisabledRequestPathNoAllocs pins the span layer's half of
+// the disabled-cost claim: the request-path hooks the serving layer
+// calls around every request (NextReq, SetRequest, Finish) are
+// nil-receiver no-ops, so a kvserver built with -spans=false runs its
+// full request path — span hooks included — at zero allocations per
+// operation.
+func TestObsSpansDisabledRequestPathNoAllocs(t *testing.T) {
+	rt := repro.NewRuntime(repro.Config{MaxThreads: 2, ArenaCapacity: 1 << 12})
+	th := rt.RegisterThread()
+	q := repro.NewQueue(th)
+	s := repro.NewStack(th)
+	q.Enqueue(th, 42)
+	spans := rt.Obs().Spans() // nil: observability fully off
+	tracer := rt.Obs().Tracer()
+	var sp repro.Span
+	request := func() {
+		// The kvserver request path's span choreography, verbatim.
+		sp.Req = spans.NextReq()
+		tracer.SetRequest(int(th.ID()), sp.Req)
+		if _, ok := repro.Move(th, q, s, 0, 0); !ok {
+			repro.Move(th, s, q, 0, 0)
+		}
+		spans.Finish(0, sp)
+		tracer.SetRequest(int(th.ID()), 0)
+	}
+	for i := 0; i < 1000; i++ {
+		request()
+	}
+	if avg := testing.AllocsPerRun(2000, request); avg != 0 {
+		t.Fatalf("disabled span hooks allocate %v allocs/op on the request path, want 0", avg)
 	}
 }
 
